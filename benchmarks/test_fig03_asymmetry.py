@@ -1,0 +1,19 @@
+"""Fig. 3 — in-bound vs out-bound IOPS vs server threads (32 B)."""
+
+from conftest import column
+
+from repro.bench.figures import run_fig3
+
+
+def test_fig3_asymmetry(regenerate):
+    result = regenerate(run_fig3)
+    outbound = column(result, "outbound_mops")
+    inbound = column(result, "inbound_mops")
+    # Out-bound saturates around ~2.1 MOPS by 4 threads.
+    assert max(outbound) == type(outbound[0])(max(outbound))
+    assert 1.8 <= max(outbound) <= 2.4
+    # In-bound peak ~11.26 MOPS: the ~5x asymmetry.
+    assert 10.3 <= max(inbound) <= 12.2
+    assert max(inbound) / max(outbound) > 4.0
+    # One server thread cannot saturate the out-bound pipeline.
+    assert outbound[0] < 0.75 * max(outbound)

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Watch the hybrid fetch/server-reply switch react to server load.
+
+A single client talks to an RFP server whose request process time is
+stepped up (overload) and back down (recovery).  The trace shows:
+
+- fast phase: pure remote fetching, zero server replies,
+- overload: after two consecutive slow calls (>R failed retries), the
+  client publishes its mode flag and the server starts pushing replies,
+- recovery: the response-time header field drops below the threshold and
+  the client switches back to remote fetching.
+
+Run:  python examples/mode_switching.py
+"""
+
+from repro.core import Mode, RfpClient, RfpServer
+from repro.hw import CLUSTER_EUROSYS17, build_cluster
+from repro.sim import Simulator
+
+PHASES = [
+    ("fast", 0.5, 8),
+    ("overloaded", 20.0, 8),
+    ("recovered", 0.5, 8),
+]
+
+
+def main() -> None:
+    sim = Simulator()
+    cluster = build_cluster(sim, CLUSTER_EUROSYS17)
+    load = {"process_us": 0.5}
+
+    def handler(payload, context):
+        return payload, load["process_us"]
+
+    server = RfpServer(sim, cluster, cluster.server, handler, threads=2)
+    client = RfpClient(sim, cluster.client_machines[0], server)
+
+    def session(sim):
+        for phase, process_us, calls in PHASES:
+            load["process_us"] = process_us
+            print(f"\n--- {phase}: server process time {process_us} us ---")
+            for index in range(calls):
+                before = client.mode
+                began = sim.now
+                yield from client.call(f"{phase}-{index}".encode())
+                latency = sim.now - began
+                marker = ""
+                if client.mode is not before:
+                    marker = f"   <-- switched {before.name} -> {client.mode.name}"
+                print(
+                    f"t={sim.now:9.2f}  call {index}: {latency:6.2f} us  "
+                    f"mode={client.mode.name}{marker}"
+                )
+
+    sim.process(session(sim))
+    sim.run()
+
+    print(f"\nswitches to server-reply:  {client.policy.switches_to_reply}")
+    print(f"switches back to fetching: {client.policy.switches_to_fetch}")
+    print(f"replies pushed by server:  {server.stats.replies_sent.value}")
+    assert client.mode is Mode.REMOTE_FETCH, "should have recovered"
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Shim so legacy editable installs work offline (no `wheel` package).
+
+All metadata lives in pyproject.toml; use
+``pip install -e . --no-build-isolation --no-use-pep517``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,32 @@
+"""Closed-form performance models of the RDMA RPC paradigms.
+
+The discrete-event simulator *measures*; this package *predicts*.  Each
+paradigm's steady-state throughput is the minimum over its candidate
+bottlenecks (a pipeline, a lock, a CPU pool, the closed-loop client
+population), every one of which has a closed form in terms of the NIC
+spec and software costs.  The test suite cross-validates these
+predictions against full simulations — when model and simulator agree
+within a few percent from independent derivations, both are probably
+right.
+
+This is also the fastest way to answer "what if" questions (how would
+RFP do on a 200 Gbps NIC with 3× asymmetry?) without running anything.
+"""
+
+from repro.analysis.models import (
+    BottleneckPrediction,
+    predict_inbound_peak,
+    predict_outbound_peak,
+    predict_rfp_throughput,
+    predict_server_bypass_throughput,
+    predict_server_reply_throughput,
+)
+
+__all__ = [
+    "BottleneckPrediction",
+    "predict_inbound_peak",
+    "predict_outbound_peak",
+    "predict_rfp_throughput",
+    "predict_server_bypass_throughput",
+    "predict_server_reply_throughput",
+]

@@ -1,0 +1,246 @@
+"""Closed-form throughput predictions.
+
+Notation (times in µs, rates in MOPS):
+
+- ``s_in(b)`` / ``s_out(b, kind)`` — per-op pipeline occupancy of the
+  in-/out-bound NIC pipelines for a ``b``-byte payload
+  (:func:`repro.hw.rnic.pipeline_service_time` plus issue penalties);
+- a *closed loop* of ``n`` synchronous clients can never exceed
+  ``n / latency`` (Little's law), so the client population itself is
+  always one of the candidate bottlenecks.
+
+Each predictor returns every candidate bottleneck with its rate; the
+prediction is their minimum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.config import RfpConfig
+from repro.core.fetch import plan_fetch
+from repro.core.headers import REQUEST_HEADER_BYTES, RESPONSE_HEADER_BYTES
+from repro.errors import ReproError
+from repro.hw.rnic import pipeline_service_time
+from repro.hw.specs import NicSpec
+
+__all__ = [
+    "BottleneckPrediction",
+    "predict_inbound_peak",
+    "predict_outbound_peak",
+    "predict_server_reply_throughput",
+    "predict_rfp_throughput",
+    "predict_server_bypass_throughput",
+]
+
+
+@dataclass(frozen=True)
+class BottleneckPrediction:
+    """A predicted throughput and the bottleneck that sets it."""
+
+    mops: float
+    bottleneck: str
+    candidates: Dict[str, float]
+
+    def margin_over(self, runner_up: str) -> float:
+        """How much headroom the binding bottleneck has over another."""
+        return self.candidates[runner_up] / self.mops
+
+
+def _service(nic: NicSpec, base_us: float, size: int) -> float:
+    return pipeline_service_time(
+        base_us, size, nic.effective_bandwidth_bytes_per_us, nic.softmax_order
+    )
+
+
+def _issue_penalty(nic: NicSpec, threads: int, kind: str) -> float:
+    if kind == "read":
+        knee, coeff = nic.read_issue_knee, nic.read_issue_coeff
+    else:
+        knee, coeff = nic.write_issue_knee, nic.write_issue_coeff
+    return 1.0 + coeff * max(0, threads - knee)
+
+
+def predict_inbound_peak(nic: NicSpec, size: int = 32) -> float:
+    """Peak rate at which one NIC serves one-sided ops of ``size``."""
+    return 1.0 / _service(nic, nic.inbound_base_us, size)
+
+
+def predict_outbound_peak(
+    nic: NicSpec, size: int = 32, issuing_threads: int = 1, kind: str = "write"
+) -> float:
+    """Peak rate at which one NIC issues ops of ``size``."""
+    base = nic.outbound_base_us
+    if kind == "ud_send":
+        base *= nic.ud_send_scale
+    penalty = _issue_penalty(nic, issuing_threads, kind)
+    return 1.0 / (penalty * _service(nic, base, size))
+
+
+def _request_wire_bytes(request_payload: int) -> int:
+    return REQUEST_HEADER_BYTES + request_payload
+
+
+def _response_wire_bytes(response_payload: int) -> int:
+    return RESPONSE_HEADER_BYTES + response_payload
+
+
+def _server_cpu_per_request(
+    config: RfpConfig, process_us: float, reply_bytes: Optional[int]
+) -> float:
+    """Thread time one request consumes on the server."""
+    cpu = (
+        config.server_poll_cpu_us
+        + process_us
+        + config.server_sw_us
+        + config.server_sw_jitter_us / 2.0
+    )
+    if reply_bytes is not None:
+        # The reply post: doorbell + per-byte staging (§4.4.3).
+        cpu += 0.15 + reply_bytes * config.reply_send_per_byte_us
+    return cpu
+
+
+def predict_server_reply_throughput(
+    nic: NicSpec,
+    server_threads: int,
+    client_threads: int,
+    process_us: float,
+    request_payload: int = 16,
+    response_payload: int = 32,
+    config: Optional[RfpConfig] = None,
+    propagation_us: float = 0.2,
+) -> BottleneckPrediction:
+    """Steady-state server-reply throughput (the Fig. 12/14 curves)."""
+    config = config if config is not None else RfpConfig()
+    request = _request_wire_bytes(request_payload)
+    response = _response_wire_bytes(response_payload)
+
+    out_rate = 1.0 / (
+        _issue_penalty(nic, server_threads, "write")
+        * _service(nic, nic.outbound_base_us, response)
+    )
+    cpu_rate = server_threads / _server_cpu_per_request(config, process_us, response)
+    inbound_rate = 1.0 / _service(nic, nic.inbound_base_us, request)
+    latency = (
+        config.client_post_cpu_us
+        + _service(nic, nic.outbound_base_us, request)
+        + propagation_us
+        + _service(nic, nic.inbound_base_us, request)
+        + _server_cpu_per_request(config, process_us, response)
+        + _service(nic, nic.outbound_base_us, response)
+        + propagation_us
+        + _service(nic, nic.inbound_base_us, response)
+        + config.client_wake_cpu_us
+    )
+    client_rate = client_threads / latency
+    candidates = {
+        "server-outbound-pipeline": out_rate,
+        "server-cpu": cpu_rate,
+        "server-inbound-pipeline": inbound_rate,
+        "closed-loop-clients": client_rate,
+    }
+    bottleneck = min(candidates, key=candidates.get)
+    return BottleneckPrediction(candidates[bottleneck], bottleneck, candidates)
+
+
+def predict_rfp_throughput(
+    nic: NicSpec,
+    server_threads: int,
+    client_threads: int,
+    process_us: float,
+    request_payload: int = 16,
+    response_payload: int = 32,
+    config: Optional[RfpConfig] = None,
+    propagation_us: float = 0.2,
+    client_machines: int = 7,
+) -> BottleneckPrediction:
+    """Steady-state RFP throughput in remote-fetch mode.
+
+    The server NIC serves one in-bound write (the request) plus one or
+    two in-bound reads (the fetch) per call; the server CPU does no
+    networking; the client machines pay the out-bound posts.
+    """
+    config = config if config is not None else RfpConfig()
+    request = _request_wire_bytes(request_payload)
+    plan = plan_fetch(response_payload, config.fetch_size)
+    fetch_reads = [config.fetch_size]
+    if not plan.complete_after_first:
+        fetch_reads.append(plan.remainder_bytes)
+
+    in_time = _service(nic, nic.inbound_base_us, request) + sum(
+        _service(nic, nic.inbound_base_us, size) for size in fetch_reads
+    )
+    inbound_rate = 1.0 / in_time
+
+    cpu_rate = server_threads / _server_cpu_per_request(config, process_us, None)
+
+    threads_per_machine = max(1, client_threads // client_machines)
+    out_per_request = _issue_penalty(nic, threads_per_machine, "write") * _service(
+        nic, nic.outbound_base_us, request
+    ) + len(fetch_reads) * _issue_penalty(nic, threads_per_machine, "read") * _service(
+        nic, nic.outbound_base_us, 16
+    )
+    client_out_rate = client_machines / out_per_request
+
+    fetch_rtt = (
+        config.client_post_cpu_us
+        + _service(nic, nic.outbound_base_us, 16)
+        + propagation_us
+        + _service(nic, nic.inbound_base_us, config.fetch_size)
+        + propagation_us
+        + nic.read_extra_us
+        + config.client_parse_cpu_us
+    )
+    latency = (
+        config.client_post_cpu_us
+        + _service(nic, nic.outbound_base_us, request)
+        + propagation_us
+        + _service(nic, nic.inbound_base_us, request)
+        + _server_cpu_per_request(config, process_us, None)
+        + len(fetch_reads) * fetch_rtt
+    )
+    client_rate = client_threads / latency
+    candidates = {
+        "server-inbound-pipeline": inbound_rate,
+        "server-cpu": cpu_rate,
+        "client-outbound-pipelines": client_out_rate,
+        "closed-loop-clients": client_rate,
+    }
+    bottleneck = min(candidates, key=candidates.get)
+    return BottleneckPrediction(candidates[bottleneck], bottleneck, candidates)
+
+
+def predict_server_bypass_throughput(
+    nic: NicSpec,
+    operations_per_request: int,
+    client_threads: int,
+    op_size: int = 32,
+    post_cpu_us: float = 0.15,
+    propagation_us: float = 0.2,
+    client_machines: int = 7,
+) -> BottleneckPrediction:
+    """Steady-state synthetic server-bypass throughput (Fig. 6)."""
+    if operations_per_request < 1:
+        raise ReproError("a request needs at least one operation")
+    inbound_rate = 1.0 / (
+        operations_per_request * _service(nic, nic.inbound_base_us, op_size)
+    )
+    threads_per_machine = max(1, client_threads // client_machines)
+    read_rtt = (
+        post_cpu_us
+        + _issue_penalty(nic, threads_per_machine, "read")
+        * _service(nic, nic.outbound_base_us, 16)
+        + propagation_us
+        + _service(nic, nic.inbound_base_us, op_size)
+        + propagation_us
+        + nic.read_extra_us
+    )
+    client_rate = client_threads / (operations_per_request * read_rtt)
+    candidates = {
+        "server-inbound-pipeline": inbound_rate,
+        "closed-loop-clients": client_rate,
+    }
+    bottleneck = min(candidates, key=candidates.get)
+    return BottleneckPrediction(candidates[bottleneck], bottleneck, candidates)

@@ -1,0 +1,15 @@
+"""Applications built on the RFP RPC interface.
+
+The paper's porting-cost claim (§1, Table 1) is that RFP "supports the
+legacy RPC interfaces and hence avoids the need of redesigning
+application-specific data structures".  This package demonstrates it
+with a second application beyond Jakiro: a metrics/statistics service
+(the intro's "applications with simple statistic operations") whose code
+never mentions the transport — the same service runs over RFP or
+server-reply by swapping one constructor argument, with zero changes to
+the application logic.
+"""
+
+from repro.apps.stats_service import StatsClient, StatsService
+
+__all__ = ["StatsClient", "StatsService"]

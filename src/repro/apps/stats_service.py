@@ -1,0 +1,246 @@
+"""A metrics/statistics RPC service — the paper's porting-cost demo.
+
+Three remote functions over named metrics:
+
+- ``RECORD(metric, value)`` — add one sample,
+- ``QUERY(metric)`` → ``(count, total, minimum, maximum)``,
+- ``RESET(metric)`` — clear a metric.
+
+The application is written purely against the RPC stubs
+(:mod:`repro.core.rpc`); the transport — RFP or server-reply — is picked
+by a constructor argument and nothing else changes.  This is exactly the
+paper's point: with RFP "applications that use traditional RPC can
+remain largely unchanged" while gaining the in-bound-only result path.
+
+Wire formats: ``u8 metric_len | metric | f64 value`` for RECORD,
+``u8 metric_len | metric`` for QUERY/RESET; QUERY returns
+``u64 count | f64 total | f64 min | f64 max``.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Dict, Generator, Optional, Tuple
+
+from repro.core.client import RfpClient
+from repro.core.config import RfpConfig
+from repro.core.rpc import RPC_APP_ERROR, RPC_OK, RpcClient, RpcServer
+from repro.core.server import RfpServer
+from repro.errors import ProtocolError
+from repro.hw.cluster import Cluster
+from repro.hw.machine import Machine
+from repro.paradigms.server_reply import ServerReplyClient, ServerReplyServer
+from repro.sim.core import Simulator
+
+__all__ = ["StatsService", "StatsClient", "MetricSnapshot"]
+
+RECORD_FUNCTION = 10
+QUERY_FUNCTION = 11
+RESET_FUNCTION = 12
+
+_METRIC_LEN = struct.Struct("<B")
+_VALUE = struct.Struct("<d")
+_SNAPSHOT = struct.Struct("<Qddd")
+
+#: CPU cost model for the statistics handlers.
+_RECORD_CPU_US = 0.12
+_QUERY_CPU_US = 0.10
+
+
+@dataclass(frozen=True)
+class MetricSnapshot:
+    """QUERY result for one metric."""
+
+    count: int
+    total: float
+    minimum: float
+    maximum: float
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+def _pack_metric(metric: bytes) -> bytes:
+    if not metric:
+        raise ProtocolError("empty metric name")
+    if len(metric) > 0xFF:
+        raise ProtocolError(f"metric name of {len(metric)} B exceeds 255")
+    return _METRIC_LEN.pack(len(metric)) + metric
+
+
+def _unpack_metric(arguments: bytes) -> Tuple[bytes, bytes]:
+    if len(arguments) < _METRIC_LEN.size:
+        raise ProtocolError("runt stats request")
+    (length,) = _METRIC_LEN.unpack_from(arguments)
+    end = _METRIC_LEN.size + length
+    if len(arguments) < end:
+        raise ProtocolError("truncated metric name")
+    return arguments[_METRIC_LEN.size : end], arguments[end:]
+
+
+class _Accumulator:
+    __slots__ = ("count", "total", "minimum", "maximum")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.minimum = float("inf")
+        self.maximum = float("-inf")
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+
+class StatsService:
+    """The server side: transport-agnostic statistic aggregation.
+
+    ``transport`` is ``"rfp"`` (default) or ``"serverreply"``; the
+    application code below this constructor is identical for both.
+    Metrics are partitioned across server threads EREW-style by metric
+    hash, mirroring Jakiro's lock-free layout.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cluster: Cluster,
+        machine: Optional[Machine] = None,
+        threads: int = 4,
+        transport: str = "rfp",
+        config: Optional[RfpConfig] = None,
+        name: str = "stats",
+    ) -> None:
+        if transport not in ("rfp", "serverreply"):
+            raise ProtocolError(f"unknown transport {transport!r}")
+        self.sim = sim
+        self.cluster = cluster
+        self.transport = transport
+        self.threads = threads
+        self._partitions: Dict[int, Dict[bytes, _Accumulator]] = {
+            t: {} for t in range(threads)
+        }
+        rpc = RpcServer()
+        rpc.register(RECORD_FUNCTION, self._handle_record)
+        rpc.register(QUERY_FUNCTION, self._handle_query)
+        rpc.register(RESET_FUNCTION, self._handle_reset)
+        server_class = RfpServer if transport == "rfp" else ServerReplyServer
+        self.server = server_class(
+            sim,
+            cluster,
+            machine if machine is not None else cluster.server,
+            rpc.handle,
+            threads,
+            config,
+            name,
+        )
+
+    @staticmethod
+    def partition_of(metric: bytes, threads: int) -> int:
+        from repro.kv.store import key_hash
+
+        return key_hash(metric) % threads
+
+    def connect(self, machine: Machine, name: str = "") -> "StatsClient":
+        return StatsClient(self.sim, machine, self, name=name)
+
+    # ------------------------------------------------------------------
+    # Handlers (pure application logic; no transport awareness)
+    # ------------------------------------------------------------------
+
+    def _metrics_for(self, context) -> Dict[bytes, _Accumulator]:
+        return self._partitions[context.thread_id]
+
+    def _handle_record(self, arguments: bytes, context) -> Tuple[int, bytes, float]:
+        metric, rest = _unpack_metric(arguments)
+        if len(rest) != _VALUE.size:
+            return RPC_APP_ERROR, b"bad value", 0.0
+        (value,) = _VALUE.unpack(rest)
+        self._metrics_for(context).setdefault(metric, _Accumulator()).add(value)
+        return RPC_OK, b"", _RECORD_CPU_US
+
+    def _handle_query(self, arguments: bytes, context) -> Tuple[int, bytes, float]:
+        metric, _ = _unpack_metric(arguments)
+        accumulator = self._metrics_for(context).get(metric)
+        if accumulator is None:
+            return RPC_OK, _SNAPSHOT.pack(0, 0.0, 0.0, 0.0), _QUERY_CPU_US
+        return (
+            RPC_OK,
+            _SNAPSHOT.pack(
+                accumulator.count,
+                accumulator.total,
+                accumulator.minimum,
+                accumulator.maximum,
+            ),
+            _QUERY_CPU_US,
+        )
+
+    def _handle_reset(self, arguments: bytes, context) -> Tuple[int, bytes, float]:
+        metric, _ = _unpack_metric(arguments)
+        self._metrics_for(context).pop(metric, None)
+        return RPC_OK, b"", _QUERY_CPU_US
+
+
+class StatsClient:
+    """The client stub; routes each metric to its owning server thread."""
+
+    def __init__(
+        self, sim: Simulator, machine: Machine, service: StatsService, name: str = ""
+    ) -> None:
+        self.sim = sim
+        self.service = service
+        self.name = name or f"stats-client@{machine.name}"
+        machine.rnic.register_issuer()
+        client_class = (
+            RfpClient if service.transport == "rfp" else ServerReplyClient
+        )
+        self._stubs = [
+            RpcClient(
+                client_class(
+                    sim,
+                    machine,
+                    service.server,
+                    name=f"{self.name}.p{thread_id}",
+                    thread_id=thread_id,
+                    register_issuer=False,
+                )
+            )
+            for thread_id in range(service.threads)
+        ]
+
+    def _stub(self, metric: bytes) -> RpcClient:
+        return self._stubs[StatsService.partition_of(metric, self.service.threads)]
+
+    def record(self, metric: bytes, value: float) -> Generator:
+        """Process body: add one sample to ``metric``."""
+        status, _ = yield from self._stub(metric).call(
+            RECORD_FUNCTION, _pack_metric(metric) + _VALUE.pack(value)
+        )
+        if status != RPC_OK:
+            raise ProtocolError(f"RECORD failed with status {status}")
+        return None
+
+    def query(self, metric: bytes) -> Generator:
+        """Process body: fetch the metric's snapshot."""
+        status, payload = yield from self._stub(metric).call(
+            QUERY_FUNCTION, _pack_metric(metric)
+        )
+        if status != RPC_OK:
+            raise ProtocolError(f"QUERY failed with status {status}")
+        count, total, minimum, maximum = _SNAPSHOT.unpack(payload)
+        return MetricSnapshot(count, total, minimum, maximum)
+
+    def reset(self, metric: bytes) -> Generator:
+        """Process body: clear the metric."""
+        status, _ = yield from self._stub(metric).call(
+            RESET_FUNCTION, _pack_metric(metric)
+        )
+        if status != RPC_OK:
+            raise ProtocolError(f"RESET failed with status {status}")
+        return None

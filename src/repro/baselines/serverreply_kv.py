@@ -1,0 +1,54 @@
+"""ServerReply — Jakiro with out-bound result pushes (§4.2).
+
+The paper: "The first system is ServerReply, which is extended from
+Jakiro and differs from Jakiro in that the server thread directly sends
+the result back to the client thread through RDMA Write."  We extend the
+same way: the full Jakiro stack (RPC stubs, EREW-partitioned store, key
+routing) over the pinned server-reply transports.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.config import RfpConfig
+from repro.hw.cluster import Cluster
+from repro.hw.machine import Machine
+from repro.kv.jakiro import Jakiro
+from repro.kv.store import StoreCostModel
+from repro.paradigms.server_reply import ServerReplyClient, ServerReplyServer
+from repro.sim.core import Simulator
+
+__all__ = ["build_serverreply_kv"]
+
+
+def build_serverreply_kv(
+    sim: Simulator,
+    cluster: Cluster,
+    machine: Optional[Machine] = None,
+    threads: int = 6,
+    config: Optional[RfpConfig] = None,
+    cost_model: Optional[StoreCostModel] = None,
+    seed: int = 0,
+    name: str = "serverreply-kv",
+    **store_kwargs,
+) -> Jakiro:
+    """Build the ServerReply comparison system.
+
+    Returns a :class:`~repro.kv.jakiro.Jakiro` whose transports are the
+    pinned server-reply classes; ``connect`` hands out clients that block
+    for pushed replies on every call.
+    """
+    return Jakiro(
+        sim,
+        cluster,
+        machine=machine,
+        threads=threads,
+        config=config,
+        cost_model=cost_model,
+        seed=seed,
+        name=name,
+        server_class=ServerReplyServer,
+        client_class=ServerReplyClient,
+        **store_kwargs,
+    )

@@ -1,0 +1,110 @@
+"""User-defined experiments from a JSON spec.
+
+``python -m repro.bench --spec my.json`` runs a custom closed-loop KV
+experiment without writing code.  Example spec::
+
+    {
+      "title": "jakiro vs serverreply across threads",
+      "systems": ["jakiro", "serverreply"],
+      "workload": {
+        "records": 8192,
+        "get_fraction": 0.95,
+        "distribution": "uniform",
+        "value_size": 32
+      },
+      "server_threads": [2, 4, 6],
+      "client_threads": 35,
+      "window_us": 2500
+    }
+
+Exactly one of ``server_threads`` / ``client_threads`` / ``value_size``
+/ ``get_fraction`` may be a list — that becomes the sweep axis; the
+cross product of systems × sweep points is measured.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro.bench.figures import ExperimentResult, _fmt
+from repro.bench.harness import Scale, run_kv
+from repro.bench.systems import SYSTEMS
+from repro.errors import BenchError
+from repro.workloads.value_sizes import FixedValues
+from repro.workloads.ycsb import WorkloadSpec
+
+__all__ = ["load_spec", "run_custom"]
+
+_SWEEPABLE = ("server_threads", "client_threads", "value_size", "get_fraction")
+_DEFAULTS = {
+    "server_threads": 6,
+    "client_threads": 35,
+    "value_size": 32,
+    "get_fraction": 0.95,
+}
+
+
+def load_spec(path: str) -> Dict:
+    """Read and validate a custom-experiment spec."""
+    with open(path, "r", encoding="utf-8") as source:
+        spec = json.load(source)
+    if not isinstance(spec, dict):
+        raise BenchError("spec must be a JSON object")
+    systems = spec.get("systems", ["jakiro"])
+    if isinstance(systems, str):
+        systems = [systems]
+    unknown = [name for name in systems if name not in SYSTEMS]
+    if unknown:
+        raise BenchError(f"unknown systems {unknown}; options: {sorted(SYSTEMS)}")
+    spec["systems"] = systems
+    sweeps = [key for key in _SWEEPABLE if isinstance(spec.get(key), list)]
+    if len(sweeps) > 1:
+        raise BenchError(f"only one sweep axis allowed, got {sweeps}")
+    spec["_sweep_axis"] = sweeps[0] if sweeps else None
+    return spec
+
+
+def run_custom(spec: Dict, scale: Scale = Scale.fast()) -> ExperimentResult:
+    """Run a loaded spec; one row per (sweep point)."""
+    workload_spec = dict(spec.get("workload", {}))
+    systems: List[str] = spec["systems"]
+    axis = spec.get("_sweep_axis")
+    points = spec.get(axis, [None]) if axis else [None]
+    window = float(spec.get("window_us", scale.window_us))
+    base_settings = dict(_DEFAULTS)
+    for key in _SWEEPABLE:
+        if key in workload_spec:
+            base_settings[key] = workload_spec.pop(key)
+        if key in spec and not isinstance(spec[key], list):
+            base_settings[key] = spec[key]
+    rows = []
+    for point in points:
+        settings = dict(base_settings)
+        if axis is not None:
+            settings[axis] = point
+        workload = WorkloadSpec(
+            records=int(workload_spec.get("records", scale.records)),
+            get_fraction=float(settings["get_fraction"]),
+            distribution=workload_spec.get("distribution", "uniform"),
+            value_sizes=FixedValues(int(settings["value_size"])),
+            seed=int(workload_spec.get("seed", 42)),
+        )
+        row = [point if point is not None else "-"]
+        for system in systems:
+            result = run_kv(
+                system,
+                workload,
+                server_threads=int(settings["server_threads"]),
+                client_threads=int(settings["client_threads"]),
+                scale=Scale(window_us=window, records=workload.records),
+            )
+            row.append(_fmt(result.throughput_mops))
+        rows.append(row)
+    return ExperimentResult(
+        "custom",
+        spec.get("title", "custom experiment"),
+        [axis or "point"] + [f"{name}_mops" for name in systems],
+        rows,
+        paper_expectation="user-defined experiment",
+    )

@@ -1,0 +1,71 @@
+"""RFP — the Remote Fetching Paradigm (the paper's contribution).
+
+RFP keeps the server CPU in the request path (so legacy RPC applications
+port with only moderate cost) but inverts the result path: the server only
+*buffers* results in its local memory and **clients fetch them with
+one-sided RDMA Reads**.  The server's RNIC therefore handles nothing but
+in-bound traffic, whose peak rate is ~5× the out-bound rate it would burn
+replying (paper §2.2).
+
+Package map:
+
+- :mod:`~repro.core.config`  — tunables (R, F, switch policy, CPU costs),
+- :mod:`~repro.core.headers` — request/response wire headers (Fig. 7),
+- :mod:`~repro.core.mode`    — hybrid fetch/server-reply switch policy,
+- :mod:`~repro.core.fetch`   — fetch-size planning (one read in the common
+  case, a second read only when the result exceeds F),
+- :mod:`~repro.core.client`  — :class:`RfpClient` (client_send/client_recv),
+- :mod:`~repro.core.server`  — :class:`RfpServer` (server_recv/server_send),
+- :mod:`~repro.core.params`  — the (R, F) selection procedure (§3.2, Eq. 2),
+- :mod:`~repro.core.sampling`— result-size sampling for parameter selection,
+- :mod:`~repro.core.rpc`     — a thin RPC stub layer used by Jakiro.
+"""
+
+from repro.core.adaptive import AdaptiveParameterController
+from repro.core.api import free_buf, malloc_buf
+from repro.core.client import RfpClient, RfpClientStats
+from repro.core.config import RfpConfig
+from repro.core.fetch import FetchPlan, plan_fetch, reads_required
+from repro.core.headers import (
+    REQUEST_HEADER_BYTES,
+    RESPONSE_HEADER_BYTES,
+    RequestHeader,
+    ResponseHeader,
+)
+from repro.core.mode import Mode, SwitchPolicy
+from repro.core.params import (
+    ParameterChoice,
+    derive_retry_bound,
+    derive_size_bounds,
+    select_parameters,
+)
+from repro.core.rpc import RpcClient, RpcServer
+from repro.core.sampling import ResultSampler
+from repro.core.server import RfpServer, RfpServerStats
+
+__all__ = [
+    "AdaptiveParameterController",
+    "FetchPlan",
+    "Mode",
+    "ParameterChoice",
+    "REQUEST_HEADER_BYTES",
+    "RESPONSE_HEADER_BYTES",
+    "RequestHeader",
+    "ResponseHeader",
+    "ResultSampler",
+    "RfpClient",
+    "RfpClientStats",
+    "RfpConfig",
+    "RfpServer",
+    "RfpServerStats",
+    "RpcClient",
+    "RpcServer",
+    "SwitchPolicy",
+    "derive_retry_bound",
+    "derive_size_bounds",
+    "free_buf",
+    "malloc_buf",
+    "plan_fetch",
+    "reads_required",
+    "select_parameters",
+]

@@ -1,0 +1,127 @@
+"""Online (R, F) re-selection — the "sampling periodically during its
+run" half of §3.2.
+
+The paper's selection procedure can run either on a pre-run sample or
+continuously: :class:`AdaptiveParameterController` owns a shared
+:class:`~repro.core.sampling.ResultSampler` fed by a group of clients,
+periodically re-runs the Eq. 2 enumeration against it, and pushes the
+chosen (R, F) to every client.  When the workload's result sizes drift
+(say, values grow from 32 B to 500 B), F follows within one adaptation
+interval and the clients return to single-read fetches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Generator, List, Optional, Tuple
+
+from repro.core.client import RfpClient
+from repro.core.params import select_parameters
+from repro.core.sampling import ResultSampler
+from repro.errors import ProtocolError
+from repro.sim.core import Process, Simulator
+
+__all__ = ["AdaptiveParameterController"]
+
+
+@dataclass
+class AdaptationRecord:
+    """One re-selection: when it happened and what it chose."""
+
+    at_us: float
+    retry_bound: int
+    fetch_size: int
+    samples_seen: int
+
+
+class AdaptiveParameterController:
+    """Periodically re-selects (R, F) for a group of RFP clients.
+
+    Parameters
+    ----------
+    iops_at:
+        The hardware curve ``I(R, F)`` (e.g.
+        :func:`repro.bench.calibration.model_inbound_iops`).
+    retry_upper_bound / size_lower_bound / size_upper_bound:
+        The N and [L, H] bounds previously derived from calibration.
+    interval_us:
+        Re-selection period; the paper leaves cadence open — anything
+        long enough to gather a fresh sample works.
+    min_samples:
+        Skip adaptation rounds until the sampler has seen this many new
+        results (avoids thrashing on startup).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        clients: List[RfpClient],
+        iops_at: Callable[[int, int], float],
+        retry_upper_bound: int,
+        size_lower_bound: int,
+        size_upper_bound: int,
+        interval_us: float = 500.0,
+        min_samples: int = 64,
+        size_step: int = 64,
+        sampler: Optional[ResultSampler] = None,
+    ) -> None:
+        if not clients:
+            raise ProtocolError("controller needs at least one client")
+        if interval_us <= 0:
+            raise ProtocolError(f"interval must be positive: {interval_us}")
+        self.sim = sim
+        self.clients = clients
+        self.iops_at = iops_at
+        self.retry_upper_bound = retry_upper_bound
+        self.size_lower_bound = size_lower_bound
+        self.size_upper_bound = size_upper_bound
+        self.interval_us = interval_us
+        self.min_samples = min_samples
+        self.size_step = size_step
+        self.sampler = sampler if sampler is not None else ResultSampler()
+        self.history: List[AdaptationRecord] = []
+        self._seen_at_last_round = 0
+        for client in clients:
+            client.result_sampler = self.sampler
+
+    @property
+    def current_parameters(self) -> Tuple[int, int]:
+        """The (R, F) currently applied to the clients."""
+        config = self.clients[0].config
+        return config.retry_bound, config.fetch_size
+
+    def start(self) -> Process:
+        """Spawn the periodic adaptation process."""
+        return self.sim.process(self._body(), name="rfp-adaptive")
+
+    def adapt_once(self) -> Optional[AdaptationRecord]:
+        """Run one re-selection now; None if too few new samples."""
+        new_samples = self.sampler.seen - self._seen_at_last_round
+        if new_samples < self.min_samples:
+            return None
+        self._seen_at_last_round = self.sampler.seen
+        choice = select_parameters(
+            self.sampler.sizes(),
+            self.iops_at,
+            self.retry_upper_bound,
+            self.size_lower_bound,
+            self.size_upper_bound,
+            size_step=self.size_step,
+        )
+        record = AdaptationRecord(
+            at_us=self.sim.now,
+            retry_bound=choice.retry_bound,
+            fetch_size=choice.fetch_size,
+            samples_seen=self.sampler.seen,
+        )
+        current = self.current_parameters
+        if (choice.retry_bound, choice.fetch_size) != current:
+            for client in self.clients:
+                client.apply_parameters(choice.retry_bound, choice.fetch_size)
+            self.history.append(record)
+        return record
+
+    def _body(self) -> Generator:
+        while True:
+            yield self.sim.timeout(self.interval_us)
+            self.adapt_once()

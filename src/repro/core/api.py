@@ -1,0 +1,38 @@
+"""The RFP API surface of the paper's Table 2.
+
+| Paper API                                | This library                        |
+|------------------------------------------|-------------------------------------|
+| ``client_send(server_id, buf, size)``    | :meth:`RfpClient.client_send`       |
+| ``client_recv(server_id, buf)``          | :meth:`RfpClient.client_recv`       |
+| ``server_send(client_id, buf, size)``    | internal: the server worker buffers |
+|                                          | the response locally                |
+| ``server_recv(client_id, buf)``          | internal: the server worker drains  |
+|                                          | its request-buffer partition        |
+| ``malloc_buf(size)``                     | :func:`malloc_buf`                  |
+| ``free_buf(buf)``                        | :func:`free_buf`                    |
+
+An :class:`RfpClient` binds to one server, so the paper's ``server_id``
+argument is the client object itself; likewise ``client_id`` is implicit
+in the per-client channel held by :class:`RfpServer`.
+"""
+
+from __future__ import annotations
+
+from repro.hw.machine import Machine
+from repro.hw.memory import MemoryRegion
+
+__all__ = ["malloc_buf", "free_buf"]
+
+
+def malloc_buf(machine: Machine, size: int, name: str = "") -> MemoryRegion:
+    """Allocate a buffer registered with ``machine``'s RNIC (Table 2).
+
+    Messages are placed directly in these buffers for RDMA transfer;
+    unregistered memory is rejected by every verb.
+    """
+    return machine.register_memory(size, name=name)
+
+
+def free_buf(buf: MemoryRegion) -> None:
+    """Release a buffer allocated with :func:`malloc_buf` (Table 2)."""
+    buf.machine.release_memory(buf)

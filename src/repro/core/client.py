@@ -1,0 +1,348 @@
+"""The RFP client.
+
+``call`` runs one full RPC (paper Fig. 7, bottom-up):
+
+1. **client_send** — write the request (header + payload) into the
+   client's exclusive request buffer on the server with a one-sided RDMA
+   Write.  The server's poller sees the payload the instant the write is
+   delivered; no server out-bound work is involved.
+2. **client_recv** — in ``REMOTE_FETCH`` mode, repeatedly read ``F`` bytes
+   of the response buffer until the header parity matches this call; a
+   second read collects any remainder beyond ``F``.  After ``R`` failed
+   retries the call is *slow* and the hybrid policy may switch the client
+   to ``SERVER_REPLY`` mode mid-call, in which case the client publishes
+   its mode flag (a 1-byte RDMA Write) and blocks until the server pushes
+   the response.
+3. In ``SERVER_REPLY`` mode the client simply blocks for the pushed
+   response and uses the header's ``time`` field to decide when the
+   server is fast enough to switch back.
+
+CPU accounting mirrors the paper's Fig. 15: remote fetching spins (the
+whole call duration is busy time), server-reply mode is almost idle (only
+post/wake/parse costs are busy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, Optional
+
+from repro.core.config import RfpConfig
+from repro.core.fetch import plan_fetch
+from repro.core.headers import (
+    REQUEST_HEADER_BYTES,
+    RESPONSE_HEADER_BYTES,
+    RequestHeader,
+    ResponseHeader,
+)
+from repro.core.mode import Mode, SwitchPolicy
+from repro.core.sampling import ResultSampler
+from repro.core.server import ClientChannel, RfpServer
+from repro.errors import ProtocolError
+from repro.hw.machine import Machine
+from repro.sim.core import Simulator
+from repro.sim.monitor import Counter, Tally, UtilizationMeter
+
+__all__ = ["RfpClient", "RfpClientStats"]
+
+
+@dataclass
+class RfpClientStats:
+    """Per-client counters the harness and Table 3 read out."""
+
+    calls: Counter = field(default_factory=lambda: Counter("calls"))
+    latency_us: Tally = field(default_factory=lambda: Tally("latency_us"))
+    #: Fetch reads issued for each remote-fetch call (Table 3's N).
+    fetch_attempts: Tally = field(default_factory=lambda: Tally("fetch_attempts"))
+    remote_reads: Counter = field(default_factory=lambda: Counter("remote_reads"))
+    reply_waits: Counter = field(default_factory=lambda: Counter("reply_waits"))
+    busy: UtilizationMeter = field(default_factory=lambda: UtilizationMeter("client"))
+
+    def slow_fetch_fraction(self) -> float:
+        """Fraction of remote-fetch calls that needed more than one read."""
+        if self.fetch_attempts.count == 0:
+            return 0.0
+        attempts = self.fetch_attempts.samples
+        return sum(1 for a in attempts if a > 1) / len(attempts)
+
+
+class RfpClient:
+    """One client thread speaking RFP to one server."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        machine: Machine,
+        server: RfpServer,
+        config: Optional[RfpConfig] = None,
+        name: str = "",
+        thread_id: Optional[int] = None,
+        register_issuer: bool = True,
+        result_sampler: Optional[ResultSampler] = None,
+        tracer=None,
+    ) -> None:
+        """Connect one client to ``server``.
+
+        ``thread_id`` pins the connection to a specific server worker
+        (EREW key routing); ``register_issuer=False`` lets a client
+        thread that multiplexes several transports register itself with
+        the NIC contention model exactly once.  ``result_sampler``, when
+        given, observes every response size — the online half of the
+        §3.2 parameter selection (see
+        :class:`repro.core.adaptive.AdaptiveParameterController`).
+        """
+        self.sim = sim
+        self.machine = machine
+        self.server = server
+        self.config = config if config is not None else server.config
+        if self.config.response_buffer_bytes > server.config.response_buffer_bytes:
+            raise ProtocolError("client expects larger buffers than the server has")
+        self.name = name or f"rfp-client@{machine.name}"
+        self.policy = SwitchPolicy(self.config)
+        self.stats = RfpClientStats()
+        self.seq = 0
+        # malloc_buf'd regions (Table 2): request staging, fetch landing,
+        # server-reply landing, and flag staging.
+        self._request_staging = machine.register_memory(
+            self.config.request_buffer_bytes, name=f"{self.name}.req"
+        )
+        self._fetch_landing = machine.register_memory(
+            self.config.response_buffer_bytes, name=f"{self.name}.fetch"
+        )
+        self._reply_landing = machine.register_memory(
+            self.config.response_buffer_bytes, name=f"{self.name}.reply"
+        )
+        self._flag_staging = machine.register_memory(8, name=f"{self.name}.flag")
+        self.channel: ClientChannel = server.accept(
+            machine, self._reply_landing, thread_id=thread_id
+        )
+        self.endpoint = self.channel.client_endpoint
+        self._inflight_parity: Optional[int] = None
+        self._call_started_at = 0.0
+        self._send_completed_at = 0.0
+        self.result_sampler = result_sampler
+        #: Optional :class:`repro.sim.Tracer` recording protocol phases.
+        self.tracer = tracer
+        if register_issuer:
+            machine.rnic.register_issuer()
+
+    def _trace(self, label: str, **data) -> None:
+        if self.tracer is not None:
+            self.tracer.record("rfp.client", label, client=self.name, **data)
+
+    def apply_parameters(self, retry_bound: int, fetch_size: int) -> None:
+        """Adopt new (R, F) — the output of a §3.2 (re-)selection.
+
+        Takes effect from the next call; the hybrid policy keeps its
+        current mode and streak state.
+        """
+        self.config = self.config.with_parameters(retry_bound, fetch_size)
+        self.policy.config = self.config
+
+    @property
+    def mode(self) -> Mode:
+        """The client's current result-return mode."""
+        return self.policy.mode
+
+    # ------------------------------------------------------------------
+    # The RPC entry point
+    # ------------------------------------------------------------------
+
+    def call(self, payload: bytes) -> Generator:
+        """Process body: one RPC; yields until the response is in hand.
+
+        Usage::
+
+            response = yield from client.call(b"...")
+        """
+        yield from self.client_send(payload)
+        response = yield from self.client_recv()
+        return response
+
+    def client_send(self, payload: bytes) -> Generator:
+        """Table 2 ``client_send``: push the request to the server.
+
+        One one-sided RDMA Write places header + payload into this
+        client's exclusive request buffer on the server.
+        """
+        if self._inflight_parity is not None:
+            raise ProtocolError("client_send before receiving the previous response")
+        config = self.config
+        limit = config.request_buffer_bytes - REQUEST_HEADER_BYTES
+        if len(payload) > limit:
+            raise ProtocolError(f"request of {len(payload)} B exceeds {limit} B")
+        sim = self.sim
+        self._call_started_at = sim.now
+        self.seq += 1
+        parity = self.seq & 1
+        header = RequestHeader(status=parity, size=len(payload))
+        self._request_staging.write_local(0, header.pack())
+        self._request_staging.write_local(REQUEST_HEADER_BYTES, payload)
+        yield sim.timeout(config.client_post_cpu_us)
+        channel = self.channel
+        completion = self.endpoint.post_write(
+            self._request_staging,
+            0,
+            channel.request_region,
+            0,
+            REQUEST_HEADER_BYTES + len(payload),
+            on_delivery=lambda: self._request_delivered(channel),
+        )
+        yield completion
+        self._send_completed_at = sim.now
+        self._inflight_parity = parity
+        self._trace("request_sent", seq=self.seq, bytes=len(payload))
+
+    def client_recv(self) -> Generator:
+        """Table 2 ``client_recv``: obtain the response for the last send.
+
+        Remote-fetches in ``REMOTE_FETCH`` mode (switching mid-call when
+        the hybrid policy fires); blocks for the pushed reply in
+        ``SERVER_REPLY`` mode.
+        """
+        if self._inflight_parity is None:
+            raise ProtocolError("client_recv without a preceding client_send")
+        parity = self._inflight_parity
+        config = self.config
+        sim = self.sim
+        if self.policy.mode is Mode.REMOTE_FETCH:
+            response = yield from self._fetch_response(parity)
+            if response is None:
+                # Switched to server-reply mid-call; the flag write is
+                # already published, the server will push the response.
+                response = yield from self._await_reply(parity)
+        else:
+            response = yield from self._await_reply(parity)
+            # The client spun only while posting the request; the reply
+            # wait itself is blocked (this is what Fig. 15 measures).
+            self.stats.busy.add_busy(
+                (self._send_completed_at - self._call_started_at)
+                + config.client_wake_cpu_us
+                + config.client_parse_cpu_us
+            )
+        self.stats.calls.increment()
+        self.stats.latency_us.record(sim.now - self._call_started_at)
+        self._trace(
+            "call_done",
+            seq=self.seq,
+            latency_us=round(sim.now - self._call_started_at, 3),
+            mode=self.policy.mode.name,
+        )
+        self._inflight_parity = None
+        return response
+
+    def _request_delivered(self, channel: ClientChannel) -> None:
+        channel.notify_request_delivery()
+        self.server.enqueue(channel)
+
+    # ------------------------------------------------------------------
+    # Remote fetching
+    # ------------------------------------------------------------------
+
+    def _fetch_response(self, parity: int) -> Generator:
+        """Repeated remote fetching; None means "switched mid-call"."""
+        sim = self.sim
+        config = self.config
+        channel = self.channel
+        # In fetch mode the client spins from the moment it posts the
+        # request until the result is in hand (Fig. 15's 100% CPU).
+        spin_start = self._call_started_at
+        failed = 0
+        slow_noted = False
+        while True:
+            yield sim.timeout(config.client_post_cpu_us)
+            yield self.endpoint.post_read(
+                self._fetch_landing, 0, channel.response_region, 0, config.fetch_size
+            )
+            yield sim.timeout(config.client_parse_cpu_us)
+            self.stats.remote_reads.increment()
+            header = ResponseHeader.unpack(
+                self._fetch_landing.read_local(0, RESPONSE_HEADER_BYTES)
+            )
+            if header.status == parity:
+                response = yield from self._collect_payload(header)
+                if self.result_sampler is not None:
+                    self.result_sampler.observe(header.size)
+                self._trace("fetch_success", seq=self.seq, attempts=failed + 1)
+                self.stats.fetch_attempts.record(failed + 1)
+                if not slow_noted:
+                    self.policy.note_fast_call()
+                self.stats.busy.add_busy(sim.now - spin_start)
+                return response
+            failed += 1
+            if failed >= config.retry_bound and not slow_noted:
+                slow_noted = True
+                if self.policy.note_slow_call():
+                    self._trace("mode_switch", seq=self.seq, to="SERVER_REPLY")
+                    self.stats.fetch_attempts.record(failed)
+                    yield from self._write_mode_flag(Mode.SERVER_REPLY)
+                    self.stats.busy.add_busy(sim.now - spin_start)
+                    return None
+
+    def _collect_payload(self, header: ResponseHeader) -> Generator:
+        """Issue the remainder read when the response exceeded F."""
+        plan = plan_fetch(header.size, self.config.fetch_size)
+        if not plan.complete_after_first:
+            yield self.sim.timeout(self.config.client_post_cpu_us)
+            yield self.endpoint.post_read(
+                self._fetch_landing,
+                plan.remainder_offset,
+                self.channel.response_region,
+                plan.remainder_offset,
+                plan.remainder_bytes,
+            )
+            self.stats.remote_reads.increment()
+        return self._fetch_landing.read_local(RESPONSE_HEADER_BYTES, header.size)
+
+    # ------------------------------------------------------------------
+    # Server-reply mode
+    # ------------------------------------------------------------------
+
+    def _await_reply(self, parity: int) -> Generator:
+        """Block until the server pushes a response with our parity."""
+        sim = self.sim
+        config = self.config
+        channel = self.channel
+        self.stats.reply_waits.increment()
+        while True:
+            yield channel.reply_store.get()
+            yield sim.timeout(config.client_wake_cpu_us)
+            header = ResponseHeader.unpack(
+                self._reply_landing.read_local(0, RESPONSE_HEADER_BYTES)
+            )
+            if header.status != parity:
+                # A stale late reply from a previous call: ignore it.
+                continue
+            response = self._reply_landing.read_local(
+                RESPONSE_HEADER_BYTES, header.size
+            )
+            if self.result_sampler is not None:
+                self.result_sampler.observe(header.size)
+            if self.policy.mode is Mode.SERVER_REPLY:
+                if self.policy.note_reply_time(header.time_us):
+                    self._trace("mode_switch", seq=self.seq, to="REMOTE_FETCH")
+                    yield from self._write_mode_flag(Mode.REMOTE_FETCH)
+            return response
+
+    # ------------------------------------------------------------------
+    # Mode flag
+    # ------------------------------------------------------------------
+
+    def _write_mode_flag(self, new_mode: Mode) -> Generator:
+        """Publish the client's mode with a 1-byte one-sided write."""
+        sim = self.sim
+        self._flag_staging.write_local(0, bytes([new_mode.value]))
+        yield sim.timeout(self.config.client_post_cpu_us)
+        channel = self.channel
+        server = self.server
+        yield self.endpoint.post_write(
+            self._flag_staging,
+            0,
+            channel.flag_region,
+            0,
+            1,
+            on_delivery=lambda: server.on_mode_flag(channel, new_mode),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RfpClient({self.name}, mode={self.policy.mode.name})"

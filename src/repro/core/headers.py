@@ -1,0 +1,106 @@
+"""Request/response buffer headers (paper Fig. 7).
+
+The request header carries ``status`` (1 bit) and ``size`` (31 bits); the
+response header additionally carries ``time`` (16 bits) — the server's
+response time for the request, which clients use to decide when to switch
+back from server-reply to remote fetching.
+
+The 1-bit ``status`` is implemented as a **parity toggle**: request *n*
+(1-based) and its response both carry ``n & 1``.  A remote fetch that
+lands on the *previous* response sees the wrong parity and retries; no
+extra RDMA operation is ever needed to reset the flag.  The server writes
+the response payload first and the header last, so a fetch that races the
+header write simply observes the old parity and retries — torn responses
+are impossible to consume.
+
+``time`` is encoded in tenths of a microsecond, saturating at the 16-bit
+limit (≈ 6.5 ms).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.errors import ProtocolError
+
+__all__ = [
+    "REQUEST_HEADER_BYTES",
+    "RESPONSE_HEADER_BYTES",
+    "RequestHeader",
+    "ResponseHeader",
+]
+
+#: status+size packed into 4 bytes (1 + 31 bits).
+REQUEST_HEADER_BYTES = 4
+#: status+size (4 bytes) + time (2 bytes) + padding (2 bytes).
+RESPONSE_HEADER_BYTES = 8
+
+_STATUS_MASK = 0x8000_0000
+_SIZE_MASK = 0x7FFF_FFFF
+_TIME_LIMIT = 0xFFFF
+
+
+def _pack_status_size(status: int, size: int) -> int:
+    if status not in (0, 1):
+        raise ProtocolError(f"status is a single bit, got {status}")
+    if not 0 <= size <= _SIZE_MASK:
+        raise ProtocolError(f"size does not fit in 31 bits: {size}")
+    return (status << 31) | size
+
+
+@dataclass(frozen=True)
+class RequestHeader:
+    """Header preceding a request payload in the server-side buffer."""
+
+    status: int
+    size: int
+
+    def pack(self) -> bytes:
+        return struct.pack("<I", _pack_status_size(self.status, self.size))
+
+    @classmethod
+    def unpack(cls, raw: bytes) -> "RequestHeader":
+        if len(raw) < REQUEST_HEADER_BYTES:
+            raise ProtocolError(f"short request header: {len(raw)} bytes")
+        word = struct.unpack_from("<I", raw)[0]
+        return cls(status=word >> 31, size=word & _SIZE_MASK)
+
+
+@dataclass(frozen=True)
+class ResponseHeader:
+    """Header preceding a response payload in the server-side buffer.
+
+    ``time_tenths_us`` is the server-side response time (queueing +
+    processing) in 0.1 µs units.
+    """
+
+    status: int
+    size: int
+    time_tenths_us: int = 0
+
+    def pack(self) -> bytes:
+        if not 0 <= self.time_tenths_us <= _TIME_LIMIT:
+            raise ProtocolError(f"time field overflow: {self.time_tenths_us}")
+        return struct.pack(
+            "<IHxx", _pack_status_size(self.status, self.size), self.time_tenths_us
+        )
+
+    @classmethod
+    def unpack(cls, raw: bytes) -> "ResponseHeader":
+        if len(raw) < RESPONSE_HEADER_BYTES:
+            raise ProtocolError(f"short response header: {len(raw)} bytes")
+        word, time_tenths = struct.unpack_from("<IH", raw)
+        return cls(status=word >> 31, size=word & _SIZE_MASK, time_tenths_us=time_tenths)
+
+    @classmethod
+    def encode_time(cls, response_time_us: float) -> int:
+        """Convert a response time to the saturating 16-bit wire value."""
+        if response_time_us < 0:
+            raise ProtocolError(f"negative response time: {response_time_us}")
+        return min(_TIME_LIMIT, int(round(response_time_us * 10.0)))
+
+    @property
+    def time_us(self) -> float:
+        """Decoded response time in microseconds."""
+        return self.time_tenths_us / 10.0

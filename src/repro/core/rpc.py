@@ -1,0 +1,80 @@
+"""A small RPC stub layer over the RFP primitives.
+
+RFP exposes socket-like primitives (Table 2), so a conventional RPC
+mechanism layers directly on top (Fig. 2): the client stub marshals a
+function id and arguments into the request payload; the server stub
+dispatches to a registered handler and returns its result.  Jakiro's
+GET/PUT (Fig. 8a) are two registered functions.
+
+Wire format: ``u8 function_id | u8 status | arguments...`` on requests,
+``u8 status | result...`` on responses.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable, Dict, Generator, Tuple
+
+from repro.core.client import RfpClient
+from repro.errors import ProtocolError
+
+__all__ = ["RpcClient", "RpcServer", "RPC_OK", "RPC_APP_ERROR", "RPC_NO_FUNCTION"]
+
+RPC_OK = 0
+RPC_APP_ERROR = 1
+RPC_NO_FUNCTION = 2
+
+_REQUEST_PREFIX = struct.Struct("<BB")
+_RESPONSE_PREFIX = struct.Struct("<B")
+
+#: ``handler(args, ctx) -> (status, result_bytes, process_time_us)``
+RpcHandler = Callable[[bytes, object], Tuple[int, bytes, float]]
+
+
+class RpcServer:
+    """Function registry + dispatcher; plugs into ``RfpServer`` as handler."""
+
+    def __init__(self) -> None:
+        self._functions: Dict[int, RpcHandler] = {}
+
+    def register(self, function_id: int, handler: RpcHandler) -> None:
+        if not 0 <= function_id <= 0xFF:
+            raise ProtocolError(f"function id must fit a byte: {function_id}")
+        if function_id in self._functions:
+            raise ProtocolError(f"function {function_id} registered twice")
+        self._functions[function_id] = handler
+
+    def handle(self, payload: bytes, context) -> Tuple[bytes, float]:
+        """The ``RfpServer`` handler: unmarshal, dispatch, marshal."""
+        if len(payload) < _REQUEST_PREFIX.size:
+            raise ProtocolError(f"runt RPC request of {len(payload)} bytes")
+        function_id, _reserved = _REQUEST_PREFIX.unpack_from(payload)
+        arguments = payload[_REQUEST_PREFIX.size :]
+        handler = self._functions.get(function_id)
+        if handler is None:
+            return _RESPONSE_PREFIX.pack(RPC_NO_FUNCTION), 0.0
+        status, result, process_us = handler(arguments, context)
+        return _RESPONSE_PREFIX.pack(status) + result, process_us
+
+
+class RpcClient:
+    """Client stub: marshals calls through an :class:`RfpClient`."""
+
+    def __init__(self, transport: RfpClient) -> None:
+        self.transport = transport
+
+    def call(self, function_id: int, arguments: bytes) -> Generator:
+        """Process body: invoke a remote function.
+
+        Returns ``(status, result_bytes)``::
+
+            status, result = yield from rpc.call(GET, key_bytes)
+        """
+        if not 0 <= function_id <= 0xFF:
+            raise ProtocolError(f"function id must fit a byte: {function_id}")
+        request = _REQUEST_PREFIX.pack(function_id, 0) + arguments
+        response = yield from self.transport.call(request)
+        if len(response) < _RESPONSE_PREFIX.size:
+            raise ProtocolError(f"runt RPC response of {len(response)} bytes")
+        (status,) = _RESPONSE_PREFIX.unpack_from(response)
+        return status, response[_RESPONSE_PREFIX.size :]

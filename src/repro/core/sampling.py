@@ -1,0 +1,62 @@
+"""Result-size sampling for parameter selection (paper §3.2).
+
+Equation 2 needs the application's result sizes ``S_1..S_M``.  The paper
+collects them "by pre-running it for a certain time or sampling
+periodically during its run"; :class:`ResultSampler` supports both: feed
+it every observed size and it keeps a bounded uniform reservoir, so
+long-running online use stays O(capacity).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from repro.errors import ProtocolError
+
+__all__ = ["ResultSampler"]
+
+
+class ResultSampler:
+    """Reservoir sampler over observed RPC result sizes."""
+
+    def __init__(self, capacity: int = 4096, seed: int = 0) -> None:
+        if capacity < 1:
+            raise ProtocolError(f"sampler capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._rng = np.random.default_rng(seed)
+        self._reservoir: List[int] = []
+        self._seen = 0
+
+    @property
+    def seen(self) -> int:
+        """Total sizes observed (reservoir holds at most ``capacity``)."""
+        return self._seen
+
+    def observe(self, size: int) -> None:
+        """Record one result size (Vitter's algorithm R)."""
+        if size < 0:
+            raise ProtocolError(f"negative result size: {size}")
+        self._seen += 1
+        if len(self._reservoir) < self.capacity:
+            self._reservoir.append(size)
+            return
+        slot = int(self._rng.integers(0, self._seen))
+        if slot < self.capacity:
+            self._reservoir[slot] = size
+
+    def observe_many(self, sizes: Iterable[int]) -> None:
+        for size in sizes:
+            self.observe(size)
+
+    def sizes(self) -> Sequence[int]:
+        """The sampled result sizes ``S_1..S_M`` for Eq. 2."""
+        if not self._reservoir:
+            raise ProtocolError("no result sizes observed yet (pre-run first)")
+        return list(self._reservoir)
+
+    def percentile(self, p: float) -> float:
+        if not self._reservoir:
+            raise ProtocolError("no result sizes observed yet (pre-run first)")
+        return float(np.percentile(self._reservoir, p))

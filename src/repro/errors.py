@@ -1,0 +1,60 @@
+"""Exception hierarchy shared across the reproduction.
+
+Each layer raises a subclass of :class:`ReproError` so callers can catch
+library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "HardwareModelError",
+    "RegistrationError",
+    "TransportError",
+    "ProtocolError",
+    "KVError",
+    "KeyTooLargeError",
+    "ValueTooLargeError",
+    "WorkloadError",
+    "BenchError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class HardwareModelError(ReproError):
+    """Invalid hardware configuration or misuse of the hardware model."""
+
+
+class RegistrationError(HardwareModelError):
+    """RDMA access to memory that is not registered with the RNIC."""
+
+
+class TransportError(ReproError):
+    """Failure in a simulated RDMA verb or connection."""
+
+
+class ProtocolError(ReproError):
+    """Malformed message or invalid state in an RPC paradigm."""
+
+
+class KVError(ReproError):
+    """Key-value store error."""
+
+
+class KeyTooLargeError(KVError):
+    """Key exceeds the store's configured maximum key size."""
+
+
+class ValueTooLargeError(KVError):
+    """Value exceeds the store's configured maximum value size."""
+
+
+class WorkloadError(ReproError):
+    """Invalid workload specification."""
+
+
+class BenchError(ReproError):
+    """Benchmark harness misconfiguration."""

@@ -1,0 +1,85 @@
+"""Cluster composition: machines + network + connection helper."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import HardwareModelError
+from repro.hw.machine import Machine
+from repro.hw.network import Network
+from repro.hw.specs import CLUSTER_EUROSYS17, ClusterSpec
+from repro.hw.verbs import Endpoint, QPType, QueuePair
+from repro.sim.core import Simulator
+
+__all__ = ["Cluster", "build_cluster"]
+
+
+class Cluster:
+    """A set of identical machines behind one switch.
+
+    By convention ``machines[0]`` plays the server in the paper's
+    client–server experiments and the remaining machines host clients.
+    """
+
+    def __init__(self, sim: Simulator, spec: ClusterSpec) -> None:
+        self.sim = sim
+        self.spec = spec
+        self.network = Network(spec.switch_hop_us)
+        self.machines: List[Machine] = [
+            Machine(sim, spec.machine, name=f"m{i}") for i in range(spec.machines)
+        ]
+        self._qps: List[QueuePair] = []
+
+    @property
+    def server(self) -> Machine:
+        """The conventional server machine (``m0``)."""
+        return self.machines[0]
+
+    @property
+    def client_machines(self) -> List[Machine]:
+        """All machines except the server."""
+        return self.machines[1:]
+
+    def connect(
+        self,
+        initiator: Machine,
+        target: Machine,
+        qp_type: QPType = QPType.RC,
+        loss_probability: float = 0.0,
+        loss_seed: int = 0,
+    ) -> Tuple[Endpoint, Endpoint]:
+        """Create a QP between two machines; returns both endpoints.
+
+        The first endpoint issues from ``initiator``, the second from
+        ``target``.  ``loss_probability`` drops UC/UD messages silently
+        (RC recovers transparently); see :class:`~repro.hw.verbs.QueuePair`.
+        """
+        if initiator is target:
+            raise HardwareModelError("cannot connect a machine to itself")
+        if initiator not in self.machines or target not in self.machines:
+            raise HardwareModelError("both machines must belong to this cluster")
+        qp = QueuePair(
+            self.sim,
+            initiator,
+            target,
+            self.network,
+            qp_type,
+            loss_probability=loss_probability,
+            loss_seed=loss_seed,
+        )
+        self._qps.append(qp)
+        return qp.a, qp.b
+
+    def close_all(self) -> None:
+        """Tear down every connection created through :meth:`connect`."""
+        for qp in self._qps:
+            qp.close()
+        self._qps.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Cluster({len(self.machines)} x {self.spec.machine.nic.name})"
+
+
+def build_cluster(sim: Simulator, spec: ClusterSpec = CLUSTER_EUROSYS17) -> Cluster:
+    """Build the paper's 8-machine testbed (or any :class:`ClusterSpec`)."""
+    return Cluster(sim, spec)

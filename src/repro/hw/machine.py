@@ -1,0 +1,64 @@
+"""A simulated machine: cores, registered memory, and one RNIC."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import RegistrationError
+from repro.hw.memory import MemoryRegion
+from repro.hw.rnic import RNIC
+from repro.hw.specs import MachineSpec
+from repro.sim.core import Simulator
+
+__all__ = ["Machine"]
+
+
+class Machine:
+    """One host of the simulated cluster.
+
+    Threads (simulated processes) are not scheduled onto cores explicitly —
+    the paper never oversubscribes cores (at most 16 threads on 16 cores) —
+    but :attr:`cores` bounds how many server threads a system may launch.
+    """
+
+    def __init__(self, sim: Simulator, spec: MachineSpec, name: str) -> None:
+        self.sim = sim
+        self.spec = spec
+        self.name = name
+        self.rnic = RNIC(sim, spec.nic, owner_name=name)
+        self._regions: List[MemoryRegion] = []
+
+    @property
+    def cores(self) -> int:
+        return self.spec.cores
+
+    def register_memory(self, size: int, name: str = "") -> MemoryRegion:
+        """Allocate and register ``size`` bytes with the RNIC.
+
+        Mirrors ``malloc_buf`` in the RFP API (Table 2): RDMA verbs only
+        accept registered regions.
+        """
+        budget = self.spec.memory_gb * (1 << 30)
+        in_use = sum(r.size for r in self._regions if r.registered)
+        if in_use + size > budget:
+            raise RegistrationError(
+                f"{self.name}: registering {size} B exceeds {self.spec.memory_gb} GB"
+            )
+        region = MemoryRegion(self, size, name=name)
+        self._regions.append(region)
+        return region
+
+    def release_memory(self, region: MemoryRegion) -> None:
+        """Deregister a region (``free_buf``)."""
+        if region.machine is not self:
+            raise RegistrationError(
+                f"{self.name}: cannot release region owned by {region.machine.name}"
+            )
+        region.deregister()
+
+    def registered_bytes(self) -> int:
+        """Total bytes currently registered with the RNIC."""
+        return sum(r.size for r in self._regions if r.registered)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Machine({self.name}, {self.cores} cores, {self.rnic.spec.name})"

@@ -1,0 +1,31 @@
+"""Switch and propagation model.
+
+The paper's testbed has a single 18-port InfiniScale-IV switch, so every
+machine pair is exactly two links apart.  Serialization time is already
+charged by the NIC pipelines (:mod:`repro.hw.rnic`), so the network
+contributes pure propagation delay: ``2 × switch_hop_us`` per direction.
+"""
+
+from __future__ import annotations
+
+from repro.errors import HardwareModelError
+
+__all__ = ["Network"]
+
+
+class Network:
+    """One-switch fabric: constant propagation delay between distinct hosts."""
+
+    def __init__(self, switch_hop_us: float = 0.10) -> None:
+        if switch_hop_us < 0:
+            raise HardwareModelError("switch hop latency cannot be negative")
+        self.switch_hop_us = switch_hop_us
+
+    def propagation_us(self, src_name: str, dst_name: str) -> float:
+        """One-way propagation delay from ``src`` to ``dst``.
+
+        Loopback (same machine) is free: the NIC short-circuits it.
+        """
+        if src_name == dst_name:
+            return 0.0
+        return 2.0 * self.switch_hop_us

@@ -1,0 +1,185 @@
+"""Hardware specifications and calibrated presets.
+
+The ConnectX-3 preset encodes every constant the paper reports for its
+testbed (Sections 2.2 and 4.2):
+
+- in-bound peak ≈ 11.26 MOPS, out-bound peak ≈ 2.11 MOPS (32-byte ops),
+- 40 Gbps links; IOPS of both directions converge above ~2 KB,
+- RDMA Write completes faster than RDMA Read (§4.4.2, HERD's observation),
+- out-bound issuing stops scaling past a handful of threads (Fig. 3),
+- aggregate in-bound declines once too many client QPs are active (Fig. 4).
+
+All times are microseconds, rates are MOPS (ops/µs), sizes are bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import HardwareModelError
+
+__all__ = [
+    "NicSpec",
+    "MachineSpec",
+    "ClusterSpec",
+    "CONNECTX2",
+    "CONNECTX3",
+    "CONNECTX4",
+    "CLUSTER_EUROSYS17",
+]
+
+
+@dataclass(frozen=True)
+class NicSpec:
+    """Performance model of one RDMA NIC.
+
+    Attributes
+    ----------
+    name:
+        Human-readable model name.
+    bandwidth_gbps:
+        Raw link speed; the effective payload rate used by the pipelines is
+        ``effective_bandwidth_bytes_per_us``.
+    inbound_peak_mops:
+        Peak rate at which the NIC *serves* one-sided operations (pure
+        hardware path).
+    outbound_peak_mops:
+        Peak rate at which the NIC *issues* operations (software/hardware
+        interaction on the send side).
+    post_cpu_us:
+        CPU time an issuing thread spends posting a work request (doorbell
+        write) plus polling the completion — charged to the thread.
+    read_extra_us:
+        Additional completion-path latency of RDMA Read over RDMA Write
+        (reads keep more state in the RNIC).
+    recv_cpu_us:
+        Receiver-side software cost to consume one two-sided Send — this is
+        why Send/Recv shows no in/out asymmetry (§2.2).
+    softmax_order:
+        Sharpness of the base-cost/bandwidth knee in
+        :func:`repro.hw.rnic.pipeline_service_time`.
+    read_issue_knee / read_issue_coeff:
+        Out-bound penalty for *issuing RDMA Reads*: each issuing thread
+        beyond the knee inflates the out-bound service time by the given
+        fraction.  Reads hold more in-NIC state than writes, so their
+        issuing side congests earlier — this is the mutex + QP/CQ
+        contention the paper blames for the Fig. 4 roll-off ("clients
+        experience software contentions ... and hardware contentions ...
+        when issuing the RDMA operations").
+    write_issue_knee / write_issue_coeff:
+        The same penalty for issuing Writes/Sends; milder, producing the
+        gentle ServerReply decline past ~6 server threads (Fig. 12).
+    """
+
+    name: str
+    bandwidth_gbps: float
+    inbound_peak_mops: float
+    outbound_peak_mops: float
+    post_cpu_us: float = 0.15
+    read_extra_us: float = 0.40
+    recv_cpu_us: float = 0.30
+    softmax_order: float = 4.0
+    read_issue_knee: int = 5
+    read_issue_coeff: float = 0.15
+    write_issue_knee: int = 6
+    write_issue_coeff: float = 0.012
+    #: Out-bound service multiplier for UD Sends.  Datagram sends carry no
+    #: connection/reliability state in the NIC, so issuing them is cheaper
+    #: than RC verbs — the effect HERD/FaSST exploit (§5).
+    ud_send_scale: float = 0.55
+    bandwidth_efficiency: float = 0.96
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_gbps <= 0:
+            raise HardwareModelError(f"bandwidth must be positive: {self.bandwidth_gbps}")
+        if self.inbound_peak_mops <= 0 or self.outbound_peak_mops <= 0:
+            raise HardwareModelError("pipeline peaks must be positive")
+        if self.inbound_peak_mops < self.outbound_peak_mops:
+            raise HardwareModelError(
+                "model assumes in-bound >= out-bound peak (the paper's asymmetry)"
+            )
+
+    @property
+    def effective_bandwidth_bytes_per_us(self) -> float:
+        """Usable payload bytes per microsecond on one link direction."""
+        # 1 Gbps == 125 bytes/us.
+        return self.bandwidth_gbps * 125.0 * self.bandwidth_efficiency
+
+    @property
+    def inbound_base_us(self) -> float:
+        """Per-op in-bound pipeline time at tiny payloads."""
+        return 1.0 / self.inbound_peak_mops
+
+    @property
+    def outbound_base_us(self) -> float:
+        """Per-op out-bound pipeline time at tiny payloads."""
+        return 1.0 / self.outbound_peak_mops
+
+    def scaled(self, bandwidth_gbps: float, name: str = "") -> "NicSpec":
+        """A copy of this spec at a different link speed (e.g. 20 Gbps)."""
+        return replace(self, bandwidth_gbps=bandwidth_gbps, name=name or self.name)
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """One server machine: cores, memory, and its NIC."""
+
+    nic: NicSpec
+    cores: int = 16
+    memory_gb: int = 96
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise HardwareModelError(f"cores must be >= 1: {self.cores}")
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A cluster of identical machines behind one switch."""
+
+    machine: MachineSpec
+    machines: int = 8
+    switch_hop_us: float = 0.10
+
+    def __post_init__(self) -> None:
+        if self.machines < 2:
+            raise HardwareModelError("a cluster needs at least two machines")
+        if self.switch_hop_us < 0:
+            raise HardwareModelError("switch hop latency cannot be negative")
+
+
+#: Mellanox ConnectX-3 MT27500 (40 Gbps) — the paper's NIC, calibrated to
+#: the measured 11.26 / 2.11 MOPS peaks.
+CONNECTX3 = NicSpec(
+    name="ConnectX-3 MT27500",
+    bandwidth_gbps=40.0,
+    inbound_peak_mops=11.26,
+    outbound_peak_mops=2.11,
+)
+
+#: ConnectX-2 (20 Gbps) — used for the like-for-like Pilaf comparison
+#: (Fig. 11; Pilaf's testbed had 20 Gbps NICs).  Asymmetry persists on all
+#: three NIC generations per §2.2; small-payload IOPS of this generation
+#: is close to the CX-3 (Jakiro reaches ~5.4 MOPS on it in Fig. 11), only
+#: the link is half as fast.
+CONNECTX2 = NicSpec(
+    name="ConnectX-2",
+    bandwidth_gbps=20.0,
+    inbound_peak_mops=11.0,
+    outbound_peak_mops=2.0,
+)
+
+#: ConnectX-4 (100 Gbps) — faster generation; asymmetry persists (§2.2).
+CONNECTX4 = NicSpec(
+    name="ConnectX-4",
+    bandwidth_gbps=100.0,
+    inbound_peak_mops=18.0,
+    outbound_peak_mops=3.5,
+)
+
+#: The paper's testbed: 8 machines, dual 8-core E5-2640v2, ConnectX-3,
+#: InfiniScale-IV switch.
+CLUSTER_EUROSYS17 = ClusterSpec(
+    machine=MachineSpec(nic=CONNECTX3, cores=16, memory_gb=96),
+    machines=8,
+)

@@ -1,0 +1,407 @@
+"""Queue pairs and RDMA verbs.
+
+A :class:`QueuePair` connects two machines and exposes one symmetric
+:class:`Endpoint` per side.  Endpoints carry the operations the paper's
+paradigms are written against:
+
+- ``post_read`` — one-sided RDMA Read (RC only).  The remote CPU is never
+  involved: the op consumes only the remote NIC's *in-bound* pipeline.
+- ``post_write`` — one-sided RDMA Write (RC/UC).  Payload becomes visible
+  in remote memory when the remote in-bound pipeline delivers it, *before*
+  the issuer's completion fires — exactly the property RFP's request path
+  relies on.
+- ``post_send`` / ``recv`` — two-sided messaging (all QP types).  Delivery
+  requires the receiving *software* to consume the message; receiving
+  threads must charge ``spec.recv_cpu_us`` per message, which is why
+  Send/Recv shows none of the one-sided asymmetry (§2.2).
+
+Timing anatomy of a one-sided op (constants from :class:`NicSpec`):
+
+``post_cpu`` (issuing thread, charged by the caller) → out-bound pipeline
+(issuer NIC) → propagation → in-bound pipeline (target NIC; data copied
+here) → propagation back → [``read_extra`` for reads] → completion event.
+
+Reads carry only a ~16-byte request on the issuing side and ``size`` bytes
+on the serving side; writes carry ``size`` bytes outbound.  This is what
+makes the *server-sends-nothing* design of RFP pay off: a server that only
+ever serves in-bound traffic runs at the in-bound pipeline rate.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.errors import TransportError
+from repro.hw.machine import Machine
+from repro.hw.memory import MemoryRegion
+from repro.hw.network import Network
+from repro.sim.core import Event, Simulator
+from repro.sim.resources import Store
+
+__all__ = ["QPType", "QueuePair", "Endpoint", "READ_REQUEST_WIRE_BYTES"]
+
+#: Wire size of the request half of an RDMA Read (header only).
+READ_REQUEST_WIRE_BYTES = 16
+#: Wire size of an atomic request (header + operands).
+ATOMIC_WIRE_BYTES = 28
+
+
+class QPType(enum.Enum):
+    """InfiniBand queue-pair transport types (§5, Related Work).
+
+    - ``RC`` (Reliable Connection): supports Read, Write, Send — required
+      by RFP and all server-bypass designs.
+    - ``UC`` (Unreliable Connection): Write and Send only.
+    - ``UD`` (Unreliable Datagram): Send only.
+    """
+
+    RC = "RC"
+    UC = "UC"
+    UD = "UD"
+
+
+class QueuePair:
+    """A connected queue pair; use :attr:`a` and :attr:`b` endpoints.
+
+    By convention :meth:`connect` returns ``(initiator_endpoint,
+    target_endpoint)``.
+
+    ``loss_probability`` models the fabric dropping packets.  RC recovers
+    transparently (the NIC retransmits; we charge no extra time for the
+    rare case), so losses only affect **UC and UD** traffic — those
+    messages vanish silently while the sender's completion still fires,
+    exactly the hazard §5 holds against UC/UD-based designs ("corrupted
+    and silently dropped are both possible").
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        machine_a: Machine,
+        machine_b: Machine,
+        network: Network,
+        qp_type: QPType = QPType.RC,
+        loss_probability: float = 0.0,
+        loss_seed: int = 0,
+    ) -> None:
+        if not 0.0 <= loss_probability < 1.0:
+            raise TransportError(
+                f"loss probability must be in [0, 1): {loss_probability}"
+            )
+        self.sim = sim
+        self.network = network
+        self.qp_type = qp_type
+        self.loss_probability = loss_probability
+        self._loss_rng = (
+            np.random.default_rng(loss_seed) if loss_probability > 0.0 else None
+        )
+        self.messages_lost = 0
+        self._open = True
+        self.a = Endpoint(self, machine_a, machine_b)
+        self.b = Endpoint(self, machine_b, machine_a)
+        self.a._peer, self.b._peer = self.b, self.a
+        machine_a.rnic.register_qp()
+        machine_b.rnic.register_qp()
+
+    def _drops_unreliable_message(self) -> bool:
+        """Decide the fate of one UC/UD message in flight."""
+        if self._loss_rng is None or self.qp_type is QPType.RC:
+            return False
+        if self._loss_rng.random() < self.loss_probability:
+            self.messages_lost += 1
+            return True
+        return False
+
+    @property
+    def is_open(self) -> bool:
+        return self._open
+
+    def close(self) -> None:
+        """Disconnect; further verbs raise :class:`TransportError`."""
+        if self._open:
+            self._open = False
+            self.a.machine.rnic.unregister_qp()
+            self.b.machine.rnic.unregister_qp()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"QueuePair({self.qp_type.value}: {self.a.machine.name} <-> "
+            f"{self.b.machine.name})"
+        )
+
+
+class Endpoint:
+    """One side of a :class:`QueuePair`: all verbs are issued from here."""
+
+    def __init__(self, qp: QueuePair, machine: Machine, remote: Machine) -> None:
+        self.qp = qp
+        self.sim = qp.sim
+        self.machine = machine
+        self.remote = remote
+        self._inbox: Store = Store(qp.sim)
+        self._peer: Optional["Endpoint"] = None
+
+    # ------------------------------------------------------------------
+    # Checks
+    # ------------------------------------------------------------------
+
+    def _check_open(self) -> None:
+        if not self.qp._open:
+            raise TransportError("verb posted on a closed queue pair")
+
+    def _check_regions(
+        self,
+        local_mr: MemoryRegion,
+        local_offset: int,
+        remote_mr: MemoryRegion,
+        remote_offset: int,
+        size: int,
+    ) -> None:
+        if local_mr.machine is not self.machine:
+            raise TransportError(
+                f"local region {local_mr.name!r} lives on "
+                f"{local_mr.machine.name}, endpoint is on {self.machine.name}"
+            )
+        if remote_mr.machine is not self.remote:
+            raise TransportError(
+                f"remote region {remote_mr.name!r} lives on "
+                f"{remote_mr.machine.name}, peer is {self.remote.name}"
+            )
+        local_mr._check(local_offset, size)
+        remote_mr._check(remote_offset, size)
+
+    # ------------------------------------------------------------------
+    # One-sided verbs
+    # ------------------------------------------------------------------
+
+    def post_read(
+        self,
+        local_mr: MemoryRegion,
+        local_offset: int,
+        remote_mr: MemoryRegion,
+        remote_offset: int,
+        size: int,
+    ) -> Event:
+        """One-sided RDMA Read: remote bytes -> local region.
+
+        Remote bytes are *sampled* when the remote in-bound pipeline serves
+        the op (that is when the DMA engine reads host memory) and land in
+        the local region when the completion fires — a concurrent remote
+        CPU write is therefore observable torn.
+        """
+        self._check_open()
+        if self.qp.qp_type is not QPType.RC:
+            raise TransportError(
+                f"RDMA Read requires RC, not {self.qp.qp_type.value}"
+            )
+        self._check_regions(local_mr, local_offset, remote_mr, remote_offset, size)
+
+        sim = self.sim
+        read_extra = self.machine.rnic.spec.read_extra_us
+        forward = self.qp.network.propagation_us(self.machine.name, self.remote.name)
+        backward = self.qp.network.propagation_us(self.remote.name, self.machine.name)
+        completion = Event(sim)
+
+        def after_issue(_event: Event) -> None:
+            sim.schedule(forward, at_remote)
+
+        def at_remote() -> None:
+            self.remote.rnic.submit_inbound(size).wait(after_serve)
+
+        def after_serve(_event: Event) -> None:
+            snapshot = remote_mr.read_local(remote_offset, size)
+            sim.schedule(backward + read_extra, deliver, snapshot)
+
+        def deliver(snapshot: bytes) -> None:
+            local_mr.write_local(local_offset, snapshot)
+            completion.trigger(size)
+
+        self.machine.rnic.submit_outbound(READ_REQUEST_WIRE_BYTES, kind="read").wait(
+            after_issue
+        )
+        return completion
+
+    def post_write(
+        self,
+        local_mr: MemoryRegion,
+        local_offset: int,
+        remote_mr: MemoryRegion,
+        remote_offset: int,
+        size: int,
+        on_delivery: Optional[Callable[[], None]] = None,
+    ) -> Event:
+        """One-sided RDMA Write: local bytes -> remote region.
+
+        ``on_delivery`` runs at the instant the payload lands in remote
+        memory (used by upper layers to model a memory poller noticing the
+        write without simulating each poll iteration).  On RC the
+        completion fires after the hardware ACK returns; on UC it fires
+        once the issuing NIC has sent the payload (no reliability).
+        """
+        self._check_open()
+        if self.qp.qp_type is QPType.UD:
+            raise TransportError("RDMA Write requires RC or UC, not UD")
+        self._check_regions(local_mr, local_offset, remote_mr, remote_offset, size)
+
+        sim = self.sim
+        forward = self.qp.network.propagation_us(self.machine.name, self.remote.name)
+        backward = self.qp.network.propagation_us(self.remote.name, self.machine.name)
+        completion = Event(sim)
+        payload = local_mr.read_local(local_offset, size)
+        reliable = self.qp.qp_type is QPType.RC
+
+        def after_issue(_event: Event) -> None:
+            if not reliable:
+                completion.trigger(size)
+                if self.qp._drops_unreliable_message():
+                    return  # vanished on the wire; the sender never knows
+            sim.schedule(forward, at_remote)
+
+        def at_remote() -> None:
+            self.remote.rnic.submit_inbound(size).wait(after_serve)
+
+        def after_serve(_event: Event) -> None:
+            remote_mr.write_local(remote_offset, payload)
+            if on_delivery is not None:
+                on_delivery()
+            if reliable:
+                sim.schedule(backward, completion.trigger, size)
+
+        self.machine.rnic.submit_outbound(size).wait(after_issue)
+        return completion
+
+    # ------------------------------------------------------------------
+    # Atomic verbs
+    # ------------------------------------------------------------------
+
+    def post_atomic_cas(
+        self,
+        remote_mr: MemoryRegion,
+        remote_offset: int,
+        expected: int,
+        swap: int,
+    ) -> Event:
+        """One-sided 64-bit compare-and-swap (RC only).
+
+        Completes with the *original* value at the remote address; the
+        swap happened iff ``original == expected``.  Atomicity comes for
+        free in the model: the target NIC's in-bound pipeline serializes
+        every operation touching its memory.
+        """
+        return self._post_atomic(
+            remote_mr,
+            remote_offset,
+            lambda original: swap if original == expected else original,
+        )
+
+    def post_atomic_faa(
+        self, remote_mr: MemoryRegion, remote_offset: int, delta: int
+    ) -> Event:
+        """One-sided 64-bit fetch-and-add (RC only); completes with the
+        original value."""
+        return self._post_atomic(
+            remote_mr,
+            remote_offset,
+            lambda original: (original + delta) & 0xFFFFFFFFFFFFFFFF,
+        )
+
+    def _post_atomic(
+        self, remote_mr: MemoryRegion, remote_offset: int, update
+    ) -> Event:
+        self._check_open()
+        if self.qp.qp_type is not QPType.RC:
+            raise TransportError(
+                f"RDMA atomics require RC, not {self.qp.qp_type.value}"
+            )
+        if remote_mr.machine is not self.remote:
+            raise TransportError(
+                f"remote region {remote_mr.name!r} lives on "
+                f"{remote_mr.machine.name}, peer is {self.remote.name}"
+            )
+        if remote_offset % 8 != 0:
+            raise TransportError(
+                f"atomics require 8-byte alignment, offset {remote_offset}"
+            )
+        remote_mr._check(remote_offset, 8)
+
+        sim = self.sim
+        spec = self.machine.rnic.spec
+        forward = self.qp.network.propagation_us(self.machine.name, self.remote.name)
+        backward = self.qp.network.propagation_us(self.remote.name, self.machine.name)
+        completion = Event(sim)
+
+        def after_issue(_event: Event) -> None:
+            sim.schedule(forward, at_remote)
+
+        def at_remote() -> None:
+            self.remote.rnic.submit_inbound(8).wait(after_serve)
+
+        def after_serve(_event: Event) -> None:
+            original = int.from_bytes(
+                remote_mr.read_local(remote_offset, 8), "little"
+            )
+            remote_mr.write_local(
+                remote_offset, update(original).to_bytes(8, "little")
+            )
+            # Atomics keep read-like state in the issuing NIC.
+            sim.schedule(backward + spec.read_extra_us, completion.trigger, original)
+
+        self.machine.rnic.submit_outbound(ATOMIC_WIRE_BYTES, kind="read").wait(
+            after_issue
+        )
+        return completion
+
+    # ------------------------------------------------------------------
+    # Two-sided verbs
+    # ------------------------------------------------------------------
+
+    def post_send(self, payload: bytes) -> Event:
+        """Two-sided Send toward the peer endpoint.
+
+        The message lands in the peer's inbox once the peer NIC's in-bound
+        pipeline delivers it.  The *receiving thread* must charge
+        ``spec.recv_cpu_us`` per message — reception is a software path.
+        """
+        self._check_open()
+        sim = self.sim
+        size = len(payload)
+        forward = self.qp.network.propagation_us(self.machine.name, self.remote.name)
+        backward = self.qp.network.propagation_us(self.remote.name, self.machine.name)
+        completion = Event(sim)
+        reliable = self.qp.qp_type is QPType.RC
+        issue_kind = "ud_send" if self.qp.qp_type is QPType.UD else "write"
+        peer = self._peer
+
+        def after_issue(_event: Event) -> None:
+            if not reliable:
+                completion.trigger(size)
+                if self.qp._drops_unreliable_message():
+                    return  # vanished on the wire; the sender never knows
+            sim.schedule(forward, at_remote)
+
+        def at_remote() -> None:
+            self.remote.rnic.submit_inbound(size).wait(after_serve)
+
+        def after_serve(_event: Event) -> None:
+            peer._inbox.put(payload)
+            if reliable:
+                sim.schedule(backward, completion.trigger, size)
+
+        self.machine.rnic.submit_outbound(size, kind=issue_kind).wait(after_issue)
+        return completion
+
+    def recv(self) -> Event:
+        """Event yielding the next Send payload addressed to this endpoint."""
+        self._check_open()
+        return self._inbox.get()
+
+    @property
+    def pending_messages(self) -> int:
+        """Messages delivered but not yet received."""
+        return len(self._inbox)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Endpoint({self.machine.name} -> {self.remote.name})"

@@ -1,0 +1,42 @@
+"""CRC64 (ECMA-182, reflected) — Pilaf's race-detection checksum.
+
+Pilaf validates every remotely-read hash-table entry and data record with
+CRC64 so a GET that races an in-progress PUT observes a checksum mismatch
+and retries (§1, §2.3).  The implementation is the standard table-driven
+reflected CRC-64/XZ variant (polynomial 0x42F0E1EBA9EA3693 reflected to
+0xC96C5795D7870F42, init/xorout 0xFFFFFFFFFFFFFFFF).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+__all__ = ["crc64"]
+
+_POLY_REFLECTED = 0xC96C5795D7870F42
+_MASK = 0xFFFFFFFFFFFFFFFF
+
+
+def _build_table() -> List[int]:
+    table = []
+    for byte in range(256):
+        crc = byte
+        for _ in range(8):
+            if crc & 1:
+                crc = (crc >> 1) ^ _POLY_REFLECTED
+            else:
+                crc >>= 1
+        table.append(crc)
+    return table
+
+
+_TABLE = _build_table()
+
+
+def crc64(data: bytes) -> int:
+    """CRC-64/XZ of ``data`` as an unsigned 64-bit integer."""
+    crc = _MASK
+    table = _TABLE
+    for byte in data:
+        crc = table[(crc ^ byte) & 0xFF] ^ (crc >> 8)
+    return crc ^ _MASK

@@ -1,0 +1,143 @@
+"""Hopscotch-style neighborhood hash table (FaRM's lookup structure, §5).
+
+FaRM keeps every key within a fixed-size *neighborhood* of its home
+bucket, so a client can fetch the whole neighborhood — ``N`` consecutive
+slots of ``key_size + value_size`` bytes each — with a **single** large
+RDMA Read and scan it locally.  The paper's critique (§5) is that this
+trades operation count for bytes: with ``N`` usually above 6, most of the
+fetched data is wasted and latency/bandwidth suffer, which is exactly the
+trade-off the FaRM baseline reproduces.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, List, Optional, Tuple, TypeVar
+
+from repro.errors import KVError
+from repro.kv.crc import crc64
+
+__all__ = ["HopscotchTable"]
+
+V = TypeVar("V")
+
+
+class HopscotchTable(Generic[V]):
+    """Open-addressed table with bounded-distance (hopscotch) placement.
+
+    Every key lives within ``neighborhood`` slots of its home bucket.
+    Insertion displaces closer items outward (the classic hopscotch
+    shuffle) to make room near the home bucket when needed.
+    """
+
+    def __init__(
+        self, capacity: int, neighborhood: int = 8, on_slot_update=None
+    ) -> None:
+        if neighborhood < 1:
+            raise KVError(f"neighborhood must be >= 1, got {neighborhood}")
+        if capacity < neighborhood:
+            raise KVError("capacity must be at least one neighborhood")
+        self.capacity = capacity
+        self.neighborhood = neighborhood
+        self._slots: List[Optional[Tuple[bytes, V]]] = [None] * capacity
+        self._count = 0
+        self._on_slot_update = on_slot_update
+
+    def home(self, key: bytes) -> int:
+        return crc64(b"\x07" + key) % self.capacity
+
+    def neighborhood_slots(self, key: bytes) -> List[int]:
+        """The slot indices a remote reader must fetch for ``key``."""
+        start = self.home(key)
+        return [(start + offset) % self.capacity for offset in range(self.neighborhood)]
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+
+    def lookup(self, key: bytes) -> Optional[V]:
+        for index in self.neighborhood_slots(key):
+            slot = self._slots[index]
+            if slot is not None and slot[0] == key:
+                return slot[1]
+        return None
+
+    def insert(self, key: bytes, value: V) -> None:
+        """Insert or update; hopscotch-displaces to keep the invariant."""
+        for index in self.neighborhood_slots(key):
+            slot = self._slots[index]
+            if slot is not None and slot[0] == key:
+                self._set(index, (key, value))
+                return
+        free = self._find_free(self.home(key))
+        if free is None:
+            raise KVError(f"hopscotch table full (count {self._count})")
+        free = self._pull_free_closer(self.home(key), free)
+        if free is None:
+            raise KVError("hopscotch displacement failed; table too dense")
+        self._set(free, (key, value))
+        self._count += 1
+
+    def delete(self, key: bytes) -> bool:
+        for index in self.neighborhood_slots(key):
+            slot = self._slots[index]
+            if slot is not None and slot[0] == key:
+                self._set(index, None)
+                self._count -= 1
+                return True
+        return False
+
+    def _set(self, index: int, entry: Optional[Tuple[bytes, V]]) -> None:
+        self._slots[index] = entry
+        if self._on_slot_update is not None:
+            if entry is None:
+                self._on_slot_update(index, None, None)
+            else:
+                self._on_slot_update(index, entry[0], entry[1])
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __contains__(self, key: bytes) -> bool:
+        return self.lookup(key) is not None
+
+    def load_factor(self) -> float:
+        return self._count / self.capacity
+
+    def slot(self, index: int) -> Optional[Tuple[bytes, V]]:
+        return self._slots[index]
+
+    # ------------------------------------------------------------------
+    # Placement internals
+    # ------------------------------------------------------------------
+
+    def _distance(self, home: int, index: int) -> int:
+        return (index - home) % self.capacity
+
+    def _find_free(self, home: int) -> Optional[int]:
+        for offset in range(self.capacity):
+            index = (home + offset) % self.capacity
+            if self._slots[index] is None:
+                return index
+        return None
+
+    def _pull_free_closer(self, home: int, free: int) -> Optional[int]:
+        """Displace items so a free slot lands inside ``home``'s window."""
+        while self._distance(home, free) >= self.neighborhood:
+            moved = False
+            # Try to move into `free` an item whose own home still covers
+            # `free`, starting from the candidate furthest back.
+            for offset in range(self.neighborhood - 1, 0, -1):
+                candidate = (free - offset) % self.capacity
+                slot = self._slots[candidate]
+                if slot is None:
+                    continue
+                candidate_home = self.home(slot[0])
+                if self._distance(candidate_home, free) < self.neighborhood:
+                    self._set(free, slot)
+                    self._set(candidate, None)
+                    free = candidate
+                    moved = True
+                    break
+            if not moved:
+                return None
+        return free

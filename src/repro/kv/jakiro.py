@@ -1,0 +1,237 @@
+"""Jakiro — the paper's RFP-based in-memory key-value store (§4.1).
+
+Two halves:
+
+- :class:`Jakiro` — the server: an :class:`~repro.core.server.RfpServer`
+  whose handler is an RPC dispatcher with GET/PUT registered against the
+  EREW-partitioned :class:`~repro.kv.store.JakiroStore`.  Server threads
+  spend no cycles on networking in remote-fetch mode; they only poll,
+  process, and buffer responses locally.
+- :class:`JakiroClient` — one client thread.  It holds one RFP transport
+  per server thread and routes each key to the transport pinned to the
+  partition-owning thread (MICA-style EREW routing), so no server-side
+  locking is ever needed.  The client thread registers once with its
+  NIC's contention model regardless of how many transports it holds.
+
+The RPC flow is exactly Fig. 8(a): ``prepare request → client_send →
+client_recv``; all the remote-fetch machinery stays beneath the RPC
+stubs.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.client import RfpClient
+from repro.core.config import RfpConfig
+from repro.core.rpc import RPC_OK, RpcClient, RpcServer
+from repro.core.server import RequestContext, RfpServer
+from repro.errors import KVError
+from repro.hw.cluster import Cluster
+from repro.hw.machine import Machine
+from repro.kv.serialization import (
+    GET_FUNCTION,
+    PUT_FUNCTION,
+    STATUS_NOT_FOUND,
+    STATUS_OK,
+    pack_get_request,
+    pack_put_request,
+    unpack_get_request,
+    unpack_put_request,
+)
+from repro.kv.store import JakiroStore, StoreCostModel, partition_of
+from repro.sim.core import Simulator
+
+__all__ = ["Jakiro", "JakiroClient"]
+
+
+class Jakiro:
+    """The Jakiro server: RFP transport + RPC stubs + partitioned store."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cluster: Cluster,
+        machine: Optional[Machine] = None,
+        threads: int = 6,
+        config: Optional[RfpConfig] = None,
+        buckets_per_partition: int = 16384,
+        max_value_bytes: int = 16384,
+        cost_model: Optional[StoreCostModel] = None,
+        seed: int = 0,
+        name: str = "jakiro",
+        server_class: type = RfpServer,
+        client_class: type = RfpClient,
+    ) -> None:
+        """``server_class``/``client_class`` default to the RFP transport;
+        the ServerReply baseline injects its pinned-mode subclasses here —
+        mirroring how the paper's ServerReply "is extended from Jakiro"
+        (§4.2)."""
+        self.sim = sim
+        self.cluster = cluster
+        self.machine = machine if machine is not None else cluster.server
+        self.config = config if config is not None else RfpConfig()
+        self.store = JakiroStore(
+            partitions=threads,
+            buckets_per_partition=buckets_per_partition,
+            max_value_bytes=max_value_bytes,
+            cost_model=cost_model,
+            rng=np.random.default_rng(seed),
+        )
+        rpc = RpcServer()
+        rpc.register(GET_FUNCTION, self._handle_get)
+        rpc.register(PUT_FUNCTION, self._handle_put)
+        self.rpc = rpc
+        self.client_class = client_class
+        self.server = server_class(
+            sim, cluster, self.machine, rpc.handle, threads, self.config, name
+        )
+
+    @property
+    def threads(self) -> int:
+        return self.server.threads
+
+    def connect(
+        self,
+        machine: Machine,
+        config: Optional[RfpConfig] = None,
+        name: str = "",
+        register_issuer: bool = True,
+    ) -> "JakiroClient":
+        """Attach one client thread running on ``machine``."""
+        return JakiroClient(
+            self.sim,
+            machine,
+            self,
+            config=config,
+            name=name,
+            register_issuer=register_issuer,
+        )
+
+    def preload(self, pairs) -> None:
+        """Load key-value pairs directly (off-line dataset population).
+
+        The paper preloads 128M YCSB pairs before measuring; preloading
+        bypasses simulated time, exactly like loading before the clock
+        starts.
+        """
+        for key, value in pairs:
+            self.store.put(partition_of(key, self.store.partitions), key, value)
+
+    # ------------------------------------------------------------------
+    # RPC handlers (run on the owning server thread)
+    # ------------------------------------------------------------------
+
+    def _handle_get(
+        self, arguments: bytes, context: RequestContext
+    ) -> Tuple[int, bytes, float]:
+        key = unpack_get_request(arguments)
+        value, cost = self.store.get(context.thread_id, key)
+        if value is None:
+            return STATUS_NOT_FOUND, b"", cost
+        return STATUS_OK, value, cost
+
+    def _handle_put(
+        self, arguments: bytes, context: RequestContext
+    ) -> Tuple[int, bytes, float]:
+        key, value = unpack_put_request(arguments)
+        _evicted, cost = self.store.put(context.thread_id, key, value)
+        return STATUS_OK, b"", cost
+
+
+class JakiroClient:
+    """One client thread; EREW-routes keys across per-thread transports."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        machine: Machine,
+        jakiro: Jakiro,
+        config: Optional[RfpConfig] = None,
+        name: str = "",
+        register_issuer: bool = True,
+    ) -> None:
+        """``register_issuer=False`` lets one client *thread* that holds
+        clients to several shards count once in the NIC contention model."""
+        self.sim = sim
+        self.machine = machine
+        self.jakiro = jakiro
+        self.name = name or f"jakiro-client@{machine.name}"
+        if register_issuer:
+            machine.rnic.register_issuer()
+        self._transports: List[RpcClient] = []
+        for thread_id in range(jakiro.threads):
+            rfp = jakiro.client_class(
+                sim,
+                machine,
+                jakiro.server,
+                config=config,
+                name=f"{self.name}.p{thread_id}",
+                thread_id=thread_id,
+                register_issuer=False,
+            )
+            self._transports.append(RpcClient(rfp))
+
+    # ------------------------------------------------------------------
+    # The KV API (Fig. 8a)
+    # ------------------------------------------------------------------
+
+    def get(self, key: bytes) -> Generator:
+        """Process body: GET; returns the value or ``None`` if absent."""
+        transport = self._route(key)
+        status, value = yield from transport.call(GET_FUNCTION, pack_get_request(key))
+        if status == STATUS_NOT_FOUND:
+            return None
+        if status != STATUS_OK:
+            raise KVError(f"GET failed with status {status}")
+        return value
+
+    def put(self, key: bytes, value: bytes) -> Generator:
+        """Process body: PUT; returns None."""
+        transport = self._route(key)
+        status, _ = yield from transport.call(
+            PUT_FUNCTION, pack_put_request(key, value)
+        )
+        if status not in (STATUS_OK, RPC_OK):
+            raise KVError(f"PUT failed with status {status}")
+        return None
+
+    def _route(self, key: bytes) -> RpcClient:
+        return self._transports[partition_of(key, self.jakiro.threads)]
+
+    # ------------------------------------------------------------------
+    # Aggregated statistics across the per-partition transports
+    # ------------------------------------------------------------------
+
+    @property
+    def transports(self) -> List[RfpClient]:
+        return [rpc.transport for rpc in self._transports]
+
+    def total_calls(self) -> int:
+        return sum(t.stats.calls.value for t in self.transports)
+
+    def latency_samples(self) -> List[float]:
+        samples: List[float] = []
+        for transport in self.transports:
+            samples.extend(transport.stats.latency_us.samples)
+        return samples
+
+    def fetch_attempt_samples(self) -> List[float]:
+        samples: List[float] = []
+        for transport in self.transports:
+            samples.extend(transport.stats.fetch_attempts.samples)
+        return samples
+
+    def busy_time(self) -> float:
+        return sum(t.stats.busy.busy_time for t in self.transports)
+
+    def cpu_utilization(self, elapsed: float) -> float:
+        """This client thread's CPU utilization over ``elapsed`` µs."""
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.busy_time() / elapsed)
+
+    def remote_reads(self) -> int:
+        return sum(t.stats.remote_reads.value for t in self.transports)

@@ -1,0 +1,30 @@
+"""The two pre-RFP design paradigms (paper Table 1).
+
+Every RDMA RPC design chooses, per step of Fig. 2:
+
+=============  =================  =================  ==================
+Paradigm       Request send       Request process    Result return
+=============  =================  =================  ==================
+server-reply   in-bound (Write)   server involved    out-bound (Write)
+server-bypass  in-bound (Write)   server bypassed    in-bound (Read)
+RFP            in-bound (Write)   server involved    in-bound (Read)
+meaningless    in-bound (Write)   server bypassed    out-bound (Write)
+=============  =================  =================  ==================
+
+- :mod:`~repro.paradigms.server_reply` — the porting-friendly baseline:
+  identical to RFP except the server pushes every result with an
+  out-bound RDMA Write, capping it at the out-bound pipeline rate.
+- :mod:`~repro.paradigms.server_bypass` — the client-side access pattern
+  of Pilaf/FaRM-style designs: the server CPU never touches a request and
+  the client pays *bypass access amplification* (multiple one-sided reads
+  for metadata probing, data transfer, and conflict retries).
+
+The "meaningless" corner (bypassed server somehow issuing out-bound
+replies) combines both weaknesses and is reproduced in the Table 1 bench
+as server-reply with zero process time.
+"""
+
+from repro.paradigms.server_bypass import SyntheticBypassClient
+from repro.paradigms.server_reply import ServerReplyClient, ServerReplyServer
+
+__all__ = ["ServerReplyClient", "ServerReplyServer", "SyntheticBypassClient"]

@@ -1,0 +1,89 @@
+"""The server-reply paradigm.
+
+The paper's ServerReply comparison system "is extended from Jakiro and
+differs from Jakiro in that the server thread directly sends the result
+back to the client thread through RDMA Write" (§4.2).  We build it the
+same way: it *is* the RFP machinery with every channel pinned to
+``SERVER_REPLY`` mode and the hybrid switch disabled.
+
+- request path: identical one-sided Write into the server's buffers,
+- result path: the server thread posts an out-bound RDMA Write per
+  response and waits for its completion — so aggregate throughput is
+  capped by the server NIC's out-bound pipeline (~2.11 MOPS), and adding
+  server threads past the issue-contention knee *reduces* throughput
+  (Fig. 12's ServerReply curve).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional
+
+from repro.core.client import RfpClient
+from repro.core.config import RfpConfig
+from repro.core.mode import Mode
+from repro.core.server import ClientChannel, Handler, RfpServer
+from repro.hw.cluster import Cluster
+from repro.hw.machine import Machine
+from repro.hw.memory import MemoryRegion
+from repro.sim.core import Simulator
+
+__all__ = ["ServerReplyClient", "ServerReplyServer"]
+
+
+def _pinned_config(config: Optional[RfpConfig]) -> RfpConfig:
+    base = config if config is not None else RfpConfig()
+    return replace(base, hybrid_enabled=False)
+
+
+class ServerReplyServer(RfpServer):
+    """An RFP server whose clients are permanently in server-reply mode."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cluster: Cluster,
+        machine: Machine,
+        handler: Handler,
+        threads: int = 6,
+        config: Optional[RfpConfig] = None,
+        name: str = "server-reply",
+    ) -> None:
+        super().__init__(
+            sim, cluster, machine, handler, threads, _pinned_config(config), name
+        )
+
+    def accept(
+        self,
+        client_machine: Machine,
+        reply_region: MemoryRegion,
+        thread_id: Optional[int] = None,
+    ) -> ClientChannel:
+        channel = super().accept(client_machine, reply_region, thread_id)
+        channel.mode = Mode.SERVER_REPLY
+        return channel
+
+
+class ServerReplyClient(RfpClient):
+    """An RFP client that always blocks for the server's pushed reply."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        machine: Machine,
+        server: ServerReplyServer,
+        config: Optional[RfpConfig] = None,
+        name: str = "",
+        thread_id: Optional[int] = None,
+        register_issuer: bool = True,
+    ) -> None:
+        super().__init__(
+            sim,
+            machine,
+            server,
+            _pinned_config(config),
+            name=name or "reply-client",
+            thread_id=thread_id,
+            register_issuer=register_issuer,
+        )
+        self.policy.mode = Mode.SERVER_REPLY

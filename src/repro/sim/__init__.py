@@ -1,0 +1,49 @@
+"""Deterministic discrete-event simulation engine.
+
+This package is the substrate every other layer of the reproduction runs on.
+It provides:
+
+- :class:`~repro.sim.core.Simulator` — a calendar-queue event loop with
+  generator-based processes (``yield`` an event to wait on it).
+- :mod:`~repro.sim.resources` — FIFO resources, stores, and O(log k)
+  multi-server service stations used to model NIC pipelines and locks.
+- :mod:`~repro.sim.monitor` — counters, tallies, and throughput meters used
+  by the benchmark harness.
+- :mod:`~repro.sim.random` — named, reproducible RNG streams.
+
+Simulated time is measured in **microseconds** throughout the project, so a
+rate of ``1.0`` op per time unit equals one MOPS (million operations per
+second).
+"""
+
+from repro.sim.core import (
+    AllOf,
+    AnyOf,
+    Event,
+    Process,
+    SimulationError,
+    Simulator,
+)
+from repro.sim.monitor import Counter, Tally, ThroughputMeter, UtilizationMeter
+from repro.sim.random import RandomStreams
+from repro.sim.resources import Resource, ServiceStation, Store
+from repro.sim.trace import TraceEvent, Tracer
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Counter",
+    "Event",
+    "Process",
+    "RandomStreams",
+    "Resource",
+    "ServiceStation",
+    "SimulationError",
+    "Simulator",
+    "Store",
+    "Tally",
+    "ThroughputMeter",
+    "TraceEvent",
+    "Tracer",
+    "UtilizationMeter",
+]

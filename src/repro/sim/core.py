@@ -1,0 +1,333 @@
+"""Event loop, events, and generator-based processes.
+
+The design follows the classic calendar-queue discrete-event pattern:
+
+- The :class:`Simulator` owns a binary heap of ``(time, seq, fn, args)``
+  entries.  ``seq`` is a monotonically increasing tie-breaker, so callbacks
+  scheduled for the same timestamp run in FIFO order and every run is
+  deterministic.
+- An :class:`Event` is a one-shot condition that processes can wait on.  It
+  either *triggers* with a value or *fails* with an exception.
+- A :class:`Process` wraps a generator.  The generator advances by yielding
+  events (or other processes, which waits for their completion) and receives
+  the event's value as the result of the ``yield`` expression.
+
+Time is a ``float`` in microseconds by project convention.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+__all__ = [
+    "SimulationError",
+    "Simulator",
+    "Event",
+    "Process",
+    "AnyOf",
+    "AllOf",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the engine or for unhandled process failures."""
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Example
+    -------
+    >>> sim = Simulator()
+    >>> def hello(sim):
+    ...     yield sim.timeout(3.0)
+    ...     return sim.now
+    >>> proc = sim.process(hello(sim))
+    >>> sim.run()
+    >>> proc.value
+    3.0
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: List[tuple] = []
+        self._seq = 0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in microseconds."""
+        return self._now
+
+    # ------------------------------------------------------------------
+    # Scheduling primitives
+    # ------------------------------------------------------------------
+
+    def schedule(self, delay: float, fn: Callable, *args: Any) -> None:
+        """Run ``fn(*args)`` after ``delay`` time units."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        self._seq += 1
+        heapq.heappush(self._heap, (self._now + delay, self._seq, fn, args))
+
+    def timeout(self, delay: float, value: Any = None) -> "Event":
+        """Return an event that triggers after ``delay`` time units."""
+        event = Event(self)
+        self.schedule(delay, event.trigger, value)
+        return event
+
+    def event(self) -> "Event":
+        """Return a fresh, untriggered event."""
+        return Event(self)
+
+    def process(self, generator: Generator, name: str = "") -> "Process":
+        """Start a new process running ``generator``."""
+        return Process(self, generator, name=name)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Process events until the queue drains or ``until`` is reached.
+
+        When ``until`` is given the clock is advanced to exactly ``until``
+        even if the last event fires earlier, which makes throughput
+        windows easy to reason about.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (re-entrant run())")
+        self._running = True
+        try:
+            heap = self._heap
+            while heap:
+                at, _seq, fn, args = heap[0]
+                if until is not None and at > until:
+                    break
+                heapq.heappop(heap)
+                self._now = at
+                fn(*args)
+            if until is not None and until > self._now:
+                self._now = until
+        finally:
+            self._running = False
+
+    def peek(self) -> Optional[float]:
+        """Time of the next scheduled callback, or ``None`` if drained."""
+        return self._heap[0][0] if self._heap else None
+
+
+class Event:
+    """A one-shot condition that can be waited on by processes.
+
+    An event is *pending* until :meth:`trigger` or :meth:`fail` is called,
+    after which waiting on it resumes the waiter immediately (at the current
+    simulated time).  A failure that is never observed by any waiter raises
+    :class:`SimulationError` so that bugs do not pass silently.
+    """
+
+    __slots__ = ("sim", "_callbacks", "_done", "_value", "_exc", "_defused")
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self._callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._done = False
+        self._value: Any = None
+        self._exc: Optional[BaseException] = None
+        self._defused = False
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has either triggered or failed."""
+        return self._done
+
+    @property
+    def ok(self) -> bool:
+        """True if the event triggered successfully."""
+        return self._done and self._exc is None
+
+    @property
+    def value(self) -> Any:
+        """The trigger value (raises if the event failed or is pending)."""
+        if not self._done:
+            raise SimulationError("event value read before trigger")
+        if self._exc is not None:
+            raise self._exc
+        return self._value
+
+    def trigger(self, value: Any = None) -> "Event":
+        """Mark the event successful and schedule its waiters."""
+        if self._done:
+            raise SimulationError("event triggered twice")
+        self._done = True
+        self._value = value
+        callbacks, self._callbacks = self._callbacks, None
+        for callback in callbacks:
+            self.sim.schedule(0.0, callback, self)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        """Mark the event failed; waiters receive ``exc``."""
+        if self._done:
+            raise SimulationError("event triggered twice")
+        self._done = True
+        self._exc = exc
+        callbacks, self._callbacks = self._callbacks, None
+        if callbacks:
+            self._defused = True
+            for callback in callbacks:
+                self.sim.schedule(0.0, callback, self)
+        else:
+            # Give same-timestamp subscribers one chance to observe the
+            # failure before we escalate it.
+            self.sim.schedule(0.0, self._check_defused)
+        return self
+
+    def wait(self, callback: Callable[["Event"], None]) -> None:
+        """Invoke ``callback(self)`` once the event completes."""
+        if self._done:
+            if self._exc is not None:
+                self._defused = True
+            self.sim.schedule(0.0, callback, self)
+        else:
+            self._callbacks.append(callback)
+
+    def _check_defused(self) -> None:
+        if not self._defused:
+            raise SimulationError("unhandled failure in event") from self._exc
+
+
+class Process:
+    """A running generator, advanced each time a yielded event completes.
+
+    The generator may yield:
+
+    - an :class:`Event` — resumes with ``event.value`` when it completes,
+      or re-raises the failure exception inside the generator;
+    - another :class:`Process` — resumes with that process's return value.
+
+    The process itself exposes :attr:`done` (an event triggered with the
+    generator's return value), so processes compose.
+    """
+
+    __slots__ = ("sim", "name", "_gen", "done")
+
+    def __init__(self, sim: Simulator, generator: Generator, name: str = "") -> None:
+        if not hasattr(generator, "send"):
+            raise SimulationError(
+                f"process body must be a generator, got {type(generator).__name__}"
+            )
+        self.sim = sim
+        self.name = name or getattr(generator, "__name__", "process")
+        self._gen = generator
+        self.done = Event(sim)
+        sim.schedule(0.0, self._step, None, None)
+
+    @property
+    def finished(self) -> bool:
+        return self.done.triggered
+
+    @property
+    def value(self) -> Any:
+        """Return value of the generator (raises if it failed/is running)."""
+        return self.done.value
+
+    def wait(self, callback: Callable[[Event], None]) -> None:
+        """Subscribe ``callback`` to this process's completion event."""
+        self.done.wait(callback)
+
+    def _resume(self, event: Event) -> None:
+        if event._exc is not None:
+            self._step(None, event._exc)
+        else:
+            self._step(event._value, None)
+
+    def _step(self, value: Any, exc: Optional[BaseException]) -> None:
+        try:
+            if exc is not None:
+                target = self._gen.throw(exc)
+            else:
+                target = self._gen.send(value)
+        except StopIteration as stop:
+            self.done.trigger(stop.value)
+            return
+        except BaseException as error:  # noqa: BLE001 - escalated via event
+            self.done.fail(error)
+            return
+        if isinstance(target, Process):
+            target.done.wait(self._resume)
+        elif isinstance(target, Event):
+            target.wait(self._resume)
+        else:
+            self._step(
+                None,
+                SimulationError(
+                    f"process {self.name!r} yielded {type(target).__name__}, "
+                    "expected Event or Process"
+                ),
+            )
+
+
+def AnyOf(sim: Simulator, waitables: Iterable) -> Event:
+    """Event that triggers when the *first* of ``waitables`` completes.
+
+    The trigger value is ``(index, value)`` of the first completion.  If the
+    first completion is a failure, the composite fails with that exception.
+    """
+    children = [w.done if isinstance(w, Process) else w for w in waitables]
+    if not children:
+        raise SimulationError("AnyOf requires at least one waitable")
+    composite = Event(sim)
+
+    def make_callback(index: int) -> Callable[[Event], None]:
+        def on_done(event: Event) -> None:
+            if composite.triggered:
+                if event._exc is not None:
+                    event._defused = True
+                return
+            if event._exc is not None:
+                composite.fail(event._exc)
+            else:
+                composite.trigger((index, event._value))
+
+        return on_done
+
+    for index, child in enumerate(children):
+        child.wait(make_callback(index))
+    return composite
+
+
+def AllOf(sim: Simulator, waitables: Iterable) -> Event:
+    """Event that triggers when *all* ``waitables`` complete.
+
+    The trigger value is the list of values in input order.  The first
+    failure fails the composite.
+    """
+    children = [w.done if isinstance(w, Process) else w for w in waitables]
+    composite = Event(sim)
+    if not children:
+        sim.schedule(0.0, composite.trigger, [])
+        return composite
+    results: List[Any] = [None] * len(children)
+    remaining = [len(children)]
+
+    def make_callback(index: int) -> Callable[[Event], None]:
+        def on_done(event: Event) -> None:
+            if composite.triggered:
+                if event._exc is not None:
+                    event._defused = True
+                return
+            if event._exc is not None:
+                composite.fail(event._exc)
+                return
+            results[index] = event._value
+            remaining[0] -= 1
+            if remaining[0] == 0:
+                composite.trigger(list(results))
+
+        return on_done
+
+    for index, child in enumerate(children):
+        child.wait(make_callback(index))
+    return composite

@@ -1,0 +1,108 @@
+"""Structured event tracing for simulation runs.
+
+A :class:`Tracer` collects timestamped, categorized events from any
+instrumented component (the RFP client/server accept an optional tracer
+and emit their protocol phases).  Traces answer "what exactly happened
+to request #1293?" — the question throughput counters cannot.
+
+Events are cheap named tuples; recording is O(1) and a category filter
+plus an optional ring-buffer capacity keep long runs bounded.
+"""
+
+from __future__ import annotations
+
+from collections import Counter as TallyCounter
+from collections import deque
+from typing import Deque, Dict, Iterable, List, NamedTuple, Optional, Set
+
+from repro.errors import ReproError
+
+__all__ = ["TraceEvent", "Tracer"]
+
+
+class TraceEvent(NamedTuple):
+    """One recorded event."""
+
+    at_us: float
+    category: str
+    label: str
+    data: dict
+
+
+class Tracer:
+    """Collects :class:`TraceEvent` records from instrumented components.
+
+    Parameters
+    ----------
+    sim:
+        The simulator whose clock stamps the events.
+    categories:
+        If given, only these categories are recorded (cheap filtering at
+        the source).
+    capacity:
+        If given, keep only the most recent ``capacity`` events.
+    """
+
+    def __init__(
+        self,
+        sim,
+        categories: Optional[Iterable[str]] = None,
+        capacity: Optional[int] = None,
+    ) -> None:
+        if capacity is not None and capacity < 1:
+            raise ReproError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self._categories: Optional[Set[str]] = (
+            set(categories) if categories is not None else None
+        )
+        self._events: Deque[TraceEvent] = deque(maxlen=capacity)
+        self._counts: TallyCounter = TallyCounter()
+
+    def wants(self, category: str) -> bool:
+        """True when this tracer records ``category`` (hot-path guard)."""
+        return self._categories is None or category in self._categories
+
+    def record(self, category: str, label: str, **data) -> None:
+        """Record one event at the current simulated time."""
+        if not self.wants(category):
+            return
+        self._events.append(TraceEvent(self.sim.now, category, label, data))
+        self._counts[category] += 1
+
+    # ------------------------------------------------------------------
+    # Reading the trace
+    # ------------------------------------------------------------------
+
+    def events(
+        self,
+        category: Optional[str] = None,
+        label: Optional[str] = None,
+        since_us: float = 0.0,
+    ) -> List[TraceEvent]:
+        """Filtered view of the recorded events, in time order."""
+        return [
+            event
+            for event in self._events
+            if event.at_us >= since_us
+            and (category is None or event.category == category)
+            and (label is None or event.label == label)
+        ]
+
+    def counts(self) -> Dict[str, int]:
+        """Events recorded per category (including ring-evicted ones)."""
+        return dict(self._counts)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def format_lines(self, limit: int = 50) -> List[str]:
+        """Human-readable tail of the trace."""
+        tail = list(self._events)[-limit:]
+        lines = []
+        for event in tail:
+            details = " ".join(f"{k}={v}" for k, v in sorted(event.data.items()))
+            lines.append(
+                f"t={event.at_us:10.3f}  [{event.category}] {event.label}"
+                + (f"  {details}" if details else "")
+            )
+        return lines

@@ -1,0 +1,35 @@
+"""Fixed-width key encoding (the paper's 16-byte keys)."""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+
+__all__ = ["KeySpace"]
+
+
+class KeySpace:
+    """Maps dense indices 0..count-1 to fixed-width byte keys."""
+
+    def __init__(self, count: int, key_bytes: int = 16, prefix: bytes = b"k") -> None:
+        if count < 1:
+            raise WorkloadError(f"key count must be >= 1, got {count}")
+        if key_bytes < len(prefix) + len(str(count - 1)):
+            raise WorkloadError(
+                f"{key_bytes}-byte keys cannot index {count} records"
+            )
+        self.count = count
+        self.key_bytes = key_bytes
+        self.prefix = prefix
+        self._digits = key_bytes - len(prefix)
+
+    def key(self, index: int) -> bytes:
+        """The fixed-width key for ``index``."""
+        if not 0 <= index < self.count:
+            raise WorkloadError(f"index {index} out of range [0, {self.count})")
+        return self.prefix + str(index).zfill(self._digits).encode()
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __iter__(self):
+        return (self.key(i) for i in range(self.count))

@@ -1,0 +1,93 @@
+"""Record and replay operation traces.
+
+Comparing systems on *statistically identical* workloads is usually
+enough, but replaying the *exact same* operation sequence removes the
+last nuisance variable (and lets externally-captured traces drive the
+simulator).  Traces are stored in a compact binary framing:
+
+``u8 kind | u16 key_len | key | u32 value_len | value``
+
+with ``kind`` 0 for GET (``value_len`` = 0) and 1 for PUT.
+"""
+
+from __future__ import annotations
+
+import io
+import itertools
+import struct
+from typing import BinaryIO, Iterable, Iterator, Union
+
+from repro.errors import WorkloadError
+from repro.workloads.ycsb import Operation, YcsbWorkload
+
+__all__ = ["write_trace", "read_trace", "record_workload"]
+
+_FRAME_HEAD = struct.Struct("<BHI")
+_GET_KIND = 0
+_PUT_KIND = 1
+_MAGIC = b"RFPT\x01"
+
+
+def write_trace(operations: Iterable[Operation], sink: Union[str, BinaryIO]) -> int:
+    """Serialize ``operations``; returns the number written.
+
+    ``sink`` is a path or a binary file object.
+    """
+    owned = isinstance(sink, str)
+    stream: BinaryIO = open(sink, "wb") if owned else sink
+    count = 0
+    try:
+        stream.write(_MAGIC)
+        for operation in operations:
+            value = operation.value if operation.value is not None else b""
+            if operation.is_get and operation.value is not None:
+                raise WorkloadError("GET operations carry no value")
+            kind = _GET_KIND if operation.is_get else _PUT_KIND
+            stream.write(_FRAME_HEAD.pack(kind, len(operation.key), len(value)))
+            stream.write(operation.key)
+            stream.write(value)
+            count += 1
+    finally:
+        if owned:
+            stream.close()
+    return count
+
+
+def read_trace(source: Union[str, BinaryIO]) -> Iterator[Operation]:
+    """Yield the operations of a trace, in recorded order."""
+    owned = isinstance(source, str)
+    stream: BinaryIO = open(source, "rb") if owned else source
+    try:
+        magic = stream.read(len(_MAGIC))
+        if magic != _MAGIC:
+            raise WorkloadError(f"not an RFP trace (magic {magic!r})")
+        while True:
+            head = stream.read(_FRAME_HEAD.size)
+            if not head:
+                return
+            if len(head) < _FRAME_HEAD.size:
+                raise WorkloadError("truncated trace frame header")
+            kind, key_len, value_len = _FRAME_HEAD.unpack(head)
+            if kind not in (_GET_KIND, _PUT_KIND):
+                raise WorkloadError(f"unknown trace frame kind {kind}")
+            key = stream.read(key_len)
+            value = stream.read(value_len)
+            if len(key) < key_len or len(value) < value_len:
+                raise WorkloadError("truncated trace frame body")
+            if kind == _GET_KIND:
+                yield Operation(is_get=True, key=key, value=None)
+            else:
+                yield Operation(is_get=False, key=key, value=value)
+    finally:
+        if owned:
+            stream.close()
+
+
+def record_workload(
+    workload: YcsbWorkload, client_name: str, count: int, sink: Union[str, BinaryIO]
+) -> int:
+    """Capture ``count`` operations of one client stream into a trace."""
+    if count < 1:
+        raise WorkloadError(f"count must be >= 1, got {count}")
+    operations = itertools.islice(workload.operations(client_name), count)
+    return write_trace(operations, sink)

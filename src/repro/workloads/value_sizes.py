@@ -1,0 +1,87 @@
+"""Value-size distributions.
+
+The paper mostly uses 32-byte values ("the value size of more than half
+of key-value pairs in Facebook's data center is around 20 bytes"), a
+uniform 32 B–8 KB mix for the variable-size experiment (§4.4.3), and
+size sweeps for Figs. 11/17/18.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import WorkloadError
+
+__all__ = [
+    "ValueSizeDistribution",
+    "FixedValues",
+    "UniformValues",
+    "FacebookValues",
+]
+
+
+class ValueSizeDistribution:
+    """Interface: ``draw(rng) -> int`` plus a descriptive ``label``."""
+
+    label = "abstract"
+
+    def draw(self, rng: np.random.Generator) -> int:
+        raise NotImplementedError
+
+    def mean(self) -> float:
+        raise NotImplementedError
+
+
+class FixedValues(ValueSizeDistribution):
+    """Every value has the same size (the paper's default: 32 B)."""
+
+    def __init__(self, size: int = 32) -> None:
+        if size < 0:
+            raise WorkloadError(f"value size must be >= 0, got {size}")
+        self.size = size
+        self.label = f"fixed({size}B)"
+
+    def draw(self, rng: np.random.Generator) -> int:
+        return self.size
+
+    def mean(self) -> float:
+        return float(self.size)
+
+
+class UniformValues(ValueSizeDistribution):
+    """Sizes uniform in [low, high] — the paper's 32 B..8 KB mix."""
+
+    def __init__(self, low: int = 32, high: int = 8192) -> None:
+        if not 0 <= low <= high:
+            raise WorkloadError(f"invalid range [{low}, {high}]")
+        self.low = low
+        self.high = high
+        self.label = f"uniform({low}..{high}B)"
+
+    def draw(self, rng: np.random.Generator) -> int:
+        return int(rng.integers(self.low, self.high + 1))
+
+    def mean(self) -> float:
+        return (self.low + self.high) / 2.0
+
+
+class FacebookValues(ValueSizeDistribution):
+    """A Facebook-like small-value mix (Atikoglu et al., SIGMETRICS'12):
+    most values are a few tens of bytes with a light tail."""
+
+    def __init__(self, median: int = 24, tail_mean: int = 300, tail_prob: float = 0.05):
+        if median < 1 or tail_mean < 1 or not 0 <= tail_prob < 1:
+            raise WorkloadError("invalid Facebook-like parameters")
+        self.median = median
+        self.tail_mean = tail_mean
+        self.tail_prob = tail_prob
+        self.label = f"facebook(~{median}B)"
+
+    def draw(self, rng: np.random.Generator) -> int:
+        if rng.random() < self.tail_prob:
+            return 1 + int(rng.exponential(self.tail_mean))
+        # Geometric-ish mass around the median.
+        return max(1, int(rng.normal(self.median, self.median / 4)))
+
+    def mean(self) -> float:
+        return (1 - self.tail_prob) * self.median + self.tail_prob * self.tail_mean

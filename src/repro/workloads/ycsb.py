@@ -1,0 +1,143 @@
+"""The YCSB-style workload: spec, dataset, and operation streams.
+
+A :class:`WorkloadSpec` captures one experimental condition of §4
+(record count, GET fraction, key distribution, value sizes); a
+:class:`YcsbWorkload` turns it into a preloadable dataset plus
+per-client-thread operation iterators.  Each client thread gets its own
+named RNG stream, so runs are deterministic and adding clients never
+perturbs existing streams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, NamedTuple, Optional
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.sim.random import RandomStreams
+from repro.workloads.keys import KeySpace
+from repro.workloads.value_sizes import FixedValues, ValueSizeDistribution
+from repro.workloads.zipf import ZipfSampler
+
+__all__ = ["Operation", "WorkloadSpec", "YcsbWorkload", "ycsb_preset"]
+
+
+class Operation(NamedTuple):
+    """One client operation: a GET (value is None) or a PUT."""
+
+    is_get: bool
+    key: bytes
+    value: Optional[bytes]
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One experimental condition.
+
+    The paper's default: uniform, read-intensive (95% GET), 16-byte
+    keys, 32-byte values.  ``distribution`` is ``"uniform"`` or
+    ``"zipfian"`` (Zipf parameter 0.99, §4.2).
+    """
+
+    records: int = 100_000
+    key_bytes: int = 16
+    value_sizes: ValueSizeDistribution = field(default_factory=FixedValues)
+    get_fraction: float = 0.95
+    distribution: str = "uniform"
+    zipf_exponent: float = 0.99
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.get_fraction <= 1.0:
+            raise WorkloadError(f"get fraction must be in [0,1]: {self.get_fraction}")
+        if self.distribution not in ("uniform", "zipfian"):
+            raise WorkloadError(f"unknown distribution {self.distribution!r}")
+        if self.records < 1:
+            raise WorkloadError(f"records must be >= 1, got {self.records}")
+
+    def describe(self) -> str:
+        return (
+            f"{self.records} records, {int(self.get_fraction * 100)}% GET, "
+            f"{self.distribution}, values {self.value_sizes.label}"
+        )
+
+
+#: The standard YCSB core-workload mixes expressible with GET/PUT.
+#: (D's "latest" distribution and E's scans have no counterpart in the
+#: paper's GET/PUT interface; F's read-modify-write is a driver-level
+#: GET+PUT of the same key and is exposed as its 50/50 mix here.)
+_YCSB_PRESETS = {
+    "A": dict(get_fraction=0.50, distribution="zipfian"),
+    "B": dict(get_fraction=0.95, distribution="zipfian"),
+    "C": dict(get_fraction=1.00, distribution="zipfian"),
+    "F": dict(get_fraction=0.50, distribution="zipfian"),
+}
+
+
+def ycsb_preset(letter: str, records: int = 100_000, seed: int = 42) -> WorkloadSpec:
+    """The standard YCSB core workload mixes (A/B/C/F) as specs."""
+    preset = _YCSB_PRESETS.get(letter.upper())
+    if preset is None:
+        raise WorkloadError(
+            f"no YCSB preset {letter!r}; available: {sorted(_YCSB_PRESETS)}"
+        )
+    return WorkloadSpec(records=records, seed=seed, **preset)
+
+
+class YcsbWorkload:
+    """Deterministic dataset + operation streams for one spec."""
+
+    def __init__(self, spec: WorkloadSpec) -> None:
+        self.spec = spec
+        self.keys = KeySpace(spec.records, spec.key_bytes)
+        self.streams = RandomStreams(seed=spec.seed)
+        self._zipf = (
+            ZipfSampler(spec.records, spec.zipf_exponent)
+            if spec.distribution == "zipfian"
+            else None
+        )
+        # Keys are shuffled once so that Zipf rank 0 is not key index 0;
+        # matches YCSB's hashed key ordering.
+        order_rng = self.streams.stream("key-order")
+        self._rank_to_index = order_rng.permutation(spec.records)
+
+    # ------------------------------------------------------------------
+    # Dataset
+    # ------------------------------------------------------------------
+
+    def dataset(self) -> Iterator[tuple]:
+        """(key, value) pairs to preload before measurement."""
+        rng = self.streams.stream("dataset-values")
+        for index in range(self.spec.records):
+            yield self.keys.key(index), self._value(rng)
+
+    # ------------------------------------------------------------------
+    # Operation streams
+    # ------------------------------------------------------------------
+
+    def operations(self, client_name: str) -> Iterator[Operation]:
+        """An infinite operation stream for one client thread."""
+        rng = self.streams.stream(f"ops.{client_name}")
+        spec = self.spec
+        while True:
+            key = self.keys.key(self._pick_index(rng))
+            if rng.random() < spec.get_fraction:
+                yield Operation(is_get=True, key=key, value=None)
+            else:
+                yield Operation(is_get=False, key=key, value=self._value(rng))
+
+    def _pick_index(self, rng: np.random.Generator) -> int:
+        if self._zipf is None:
+            return int(rng.integers(0, self.spec.records))
+        rank = int(self._zipf.sample(rng, 1)[0])
+        return int(self._rank_to_index[rank])
+
+    def _value(self, rng: np.random.Generator) -> bytes:
+        return bytes(self.spec.value_sizes.draw(rng))
+
+    def result_sizes(self, samples: int = 2000) -> list:
+        """Sampled GET-result sizes (feed to the §3.2 pre-run sampler)."""
+        rng = self.streams.stream("result-size-sample")
+        return [self.spec.value_sizes.draw(rng) for _ in range(samples)]

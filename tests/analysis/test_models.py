@@ -1,0 +1,139 @@
+"""Unit tests + cross-validation of the closed-form models.
+
+The cross-validation tests are the interesting ones: the analytical
+predictions and the discrete-event simulator are two independent
+derivations of the same quantities; agreement within a few percent is
+strong evidence for both.
+"""
+
+import pytest
+
+from repro.analysis import (
+    predict_inbound_peak,
+    predict_outbound_peak,
+    predict_rfp_throughput,
+    predict_server_bypass_throughput,
+    predict_server_reply_throughput,
+)
+from repro.bench.harness import Scale, run_controlled_process_time
+from repro.errors import ReproError
+from repro.hw import CONNECTX3
+
+
+class TestPeakPredictions:
+    def test_inbound_peak_matches_spec(self):
+        assert predict_inbound_peak(CONNECTX3, 32) == pytest.approx(11.26, rel=0.01)
+
+    def test_outbound_peak_matches_spec(self):
+        assert predict_outbound_peak(CONNECTX3, 32) == pytest.approx(2.11, rel=0.01)
+
+    def test_outbound_penalized_by_threads(self):
+        few = predict_outbound_peak(CONNECTX3, 32, issuing_threads=4)
+        many = predict_outbound_peak(CONNECTX3, 32, issuing_threads=16)
+        assert many < few
+
+    def test_ud_send_peak_above_write_peak(self):
+        ud = predict_outbound_peak(CONNECTX3, 32, kind="ud_send")
+        rc = predict_outbound_peak(CONNECTX3, 32, kind="write")
+        assert ud > 1.5 * rc
+
+    def test_bandwidth_dominates_large_payloads(self):
+        at_8k = predict_inbound_peak(CONNECTX3, 8192)
+        byte_rate = at_8k * 8192
+        assert byte_rate == pytest.approx(
+            CONNECTX3.effective_bandwidth_bytes_per_us, rel=0.01
+        )
+
+
+class TestStructuralProperties:
+    def test_prediction_reports_all_candidates(self):
+        prediction = predict_server_reply_throughput(CONNECTX3, 6, 35, 0.2)
+        assert prediction.mops == min(prediction.candidates.values())
+        assert prediction.bottleneck in prediction.candidates
+        assert prediction.margin_over("closed-loop-clients") >= 1.0
+
+    def test_server_reply_bound_by_outbound_at_scale(self):
+        prediction = predict_server_reply_throughput(CONNECTX3, 6, 35, 0.2)
+        assert prediction.bottleneck == "server-outbound-pipeline"
+
+    def test_rfp_bound_by_inbound_at_scale(self):
+        prediction = predict_rfp_throughput(CONNECTX3, 6, 35, 0.2)
+        assert prediction.bottleneck == "server-inbound-pipeline"
+
+    def test_rfp_cpu_binds_with_one_thread(self):
+        prediction = predict_rfp_throughput(CONNECTX3, 1, 35, 0.2)
+        assert prediction.bottleneck == "server-cpu"
+
+    def test_both_cpu_bound_at_long_process_times(self):
+        rfp = predict_rfp_throughput(CONNECTX3, 16, 35, 12.0)
+        reply = predict_server_reply_throughput(CONNECTX3, 16, 35, 12.0)
+        assert rfp.bottleneck == "server-cpu"
+        assert reply.bottleneck == "server-cpu"
+        # ...and with no networking work left to differentiate them,
+        # they converge (the Fig. 14 plateau).
+        assert rfp.mops == pytest.approx(reply.mops, rel=0.10)
+
+    def test_big_responses_force_second_read(self):
+        small = predict_rfp_throughput(CONNECTX3, 6, 35, 0.2, response_payload=32)
+        large = predict_rfp_throughput(CONNECTX3, 6, 35, 0.2, response_payload=2048)
+        assert large.mops < 0.6 * small.mops
+
+    def test_bypass_validation(self):
+        with pytest.raises(ReproError):
+            predict_server_bypass_throughput(CONNECTX3, 0, 21)
+
+    def test_bypass_scales_inversely_with_amplification(self):
+        at_2 = predict_server_bypass_throughput(CONNECTX3, 2, 21)
+        at_8 = predict_server_bypass_throughput(CONNECTX3, 8, 21)
+        assert at_2.mops > 3.0 * at_8.mops
+
+
+class TestCrossValidation:
+    """Model vs simulator — independent derivations must agree."""
+
+    scale = Scale(window_us=2000.0)
+
+    def test_rfp_prediction_matches_simulation(self):
+        predicted = predict_rfp_throughput(CONNECTX3, 16, 35, 0.2).mops
+        measured = run_controlled_process_time("rfp", 0.2, scale=self.scale)
+        assert measured.throughput_mops == pytest.approx(predicted, rel=0.08)
+
+    def test_server_reply_prediction_matches_simulation(self):
+        predicted = predict_server_reply_throughput(CONNECTX3, 16, 35, 0.2).mops
+        measured = run_controlled_process_time("serverreply", 0.2, scale=self.scale)
+        assert measured.throughput_mops == pytest.approx(predicted, rel=0.08)
+
+    @pytest.mark.parametrize("process_us", [1.0, 5.0, 9.0])
+    def test_rfp_tracks_process_time_sweep(self, process_us):
+        predicted = predict_rfp_throughput(
+            CONNECTX3, 16, 35, process_us, config=None
+        ).mops
+        measured = run_controlled_process_time(
+            "rfp-no-switch", process_us, scale=self.scale
+        )
+        assert measured.throughput_mops == pytest.approx(predicted, rel=0.15)
+
+    def test_bypass_prediction_matches_fig6_point(self):
+        from repro.hw import CLUSTER_EUROSYS17, build_cluster
+        from repro.paradigms import SyntheticBypassClient
+        from repro.sim import Simulator, ThroughputMeter
+
+        k = 6
+        predicted = predict_server_bypass_throughput(CONNECTX3, k, 21).mops
+        sim = Simulator()
+        cluster = build_cluster(sim, CLUSTER_EUROSYS17)
+        region = cluster.server.register_memory(1 << 20)
+        meter = ThroughputMeter(window_start=500.0, window_end=2000.0)
+
+        def loop(sim, client):
+            while True:
+                yield from client.request()
+                meter.record(sim.now)
+
+        for i in range(21):
+            client = SyntheticBypassClient(
+                sim, cluster.client_machines[i % 7], cluster, region, k
+            )
+            sim.process(loop(sim, client))
+        sim.run(until=2000.0)
+        assert meter.mops(elapsed=1500.0) == pytest.approx(predicted, rel=0.10)

@@ -1,0 +1,140 @@
+"""Tests for the statistics service (the porting-cost demo)."""
+
+import pytest
+
+from repro.apps import StatsService
+from repro.errors import ProtocolError
+from repro.hw import CLUSTER_EUROSYS17, build_cluster
+from repro.sim import Simulator, ThroughputMeter
+
+
+def make_service(transport="rfp", threads=4):
+    sim = Simulator()
+    cluster = build_cluster(sim, CLUSTER_EUROSYS17)
+    service = StatsService(sim, cluster, threads=threads, transport=transport)
+    return sim, cluster, service
+
+
+@pytest.mark.parametrize("transport", ["rfp", "serverreply"])
+class TestStatsSemantics:
+    def test_record_and_query(self, transport):
+        sim, cluster, service = make_service(transport)
+        client = service.connect(cluster.client_machines[0])
+
+        def body(sim):
+            for value in (1.0, 2.5, -3.0):
+                yield from client.record(b"latency", value)
+            return (yield from client.query(b"latency"))
+
+        proc = sim.process(body(sim))
+        sim.run()
+        snapshot = proc.value
+        assert snapshot.count == 3
+        assert snapshot.total == pytest.approx(0.5)
+        assert snapshot.minimum == -3.0
+        assert snapshot.maximum == 2.5
+        assert snapshot.mean == pytest.approx(0.5 / 3)
+
+    def test_unknown_metric_is_empty(self, transport):
+        sim, cluster, service = make_service(transport)
+        client = service.connect(cluster.client_machines[0])
+
+        def body(sim):
+            return (yield from client.query(b"nothing"))
+
+        proc = sim.process(body(sim))
+        sim.run()
+        assert proc.value.count == 0
+        assert proc.value.mean == 0.0
+
+    def test_reset_clears_metric(self, transport):
+        sim, cluster, service = make_service(transport)
+        client = service.connect(cluster.client_machines[0])
+
+        def body(sim):
+            yield from client.record(b"m", 9.0)
+            yield from client.reset(b"m")
+            return (yield from client.query(b"m"))
+
+        proc = sim.process(body(sim))
+        sim.run()
+        assert proc.value.count == 0
+
+    def test_metrics_shared_across_clients(self, transport):
+        sim, cluster, service = make_service(transport)
+        writer = service.connect(cluster.client_machines[0])
+        reader = service.connect(cluster.client_machines[1])
+        result = {}
+
+        def write(sim):
+            for i in range(10):
+                yield from writer.record(b"shared", float(i))
+
+        def read(sim):
+            yield sim.timeout(200.0)
+            result["snapshot"] = yield from reader.query(b"shared")
+
+        sim.process(write(sim))
+        sim.process(read(sim))
+        sim.run()
+        assert result["snapshot"].count == 10
+        assert result["snapshot"].total == pytest.approx(45.0)
+
+    def test_distinct_metrics_independent(self, transport):
+        sim, cluster, service = make_service(transport)
+        client = service.connect(cluster.client_machines[0])
+
+        def body(sim):
+            yield from client.record(b"a", 1.0)
+            yield from client.record(b"b", 100.0)
+            snap_a = yield from client.query(b"a")
+            snap_b = yield from client.query(b"b")
+            return snap_a, snap_b
+
+        proc = sim.process(body(sim))
+        sim.run()
+        snap_a, snap_b = proc.value
+        assert snap_a.total == 1.0
+        assert snap_b.total == 100.0
+
+
+class TestPortingClaim:
+    def measure(self, transport, window=2500.0):
+        sim, cluster, service = make_service(transport, threads=4)
+        meter = ThroughputMeter(window_start=window * 0.25, window_end=window)
+        metrics = [f"metric-{i}".encode() for i in range(64)]
+
+        def loop(sim, client, offset):
+            index = offset
+            while True:
+                yield from client.record(metrics[index % 64], float(index))
+                meter.record(sim.now)
+                index += 1
+
+        for i in range(35):
+            client = service.connect(cluster.client_machines[i % 7])
+            sim.process(loop(sim, client, i * 17))
+        sim.run(until=window)
+        return meter.mops(elapsed=window * 0.75)
+
+    def test_same_app_faster_over_rfp(self):
+        """The paper's pitch in one assertion: identical application
+        code, ~2.5x more throughput by swapping the transport."""
+        rfp = self.measure("rfp")
+        reply = self.measure("serverreply")
+        assert rfp > 2.0 * reply
+        assert reply == pytest.approx(2.1, rel=0.2)
+
+    def test_invalid_transport_rejected(self):
+        sim = Simulator()
+        cluster = build_cluster(sim, CLUSTER_EUROSYS17)
+        with pytest.raises(ProtocolError):
+            StatsService(sim, cluster, transport="tcp")
+
+    def test_metric_name_validation(self):
+        sim, cluster, service = make_service()
+        client = service.connect(cluster.client_machines[0])
+        with pytest.raises(ProtocolError):
+            next(client.record(b"", 1.0))
+        with pytest.raises(ProtocolError):
+            next(client.record(b"x" * 300, 1.0))

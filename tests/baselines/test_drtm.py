@@ -1,0 +1,158 @@
+"""Tests for the DrTM-style lock-based bypass store."""
+
+import pytest
+
+from repro.baselines import DrtmServer
+from repro.errors import KVError
+from repro.hw import CLUSTER_EUROSYS17, build_cluster
+from repro.sim import Simulator
+
+
+def make_drtm(capacity=512, **kwargs):
+    sim = Simulator()
+    cluster = build_cluster(sim, CLUSTER_EUROSYS17)
+    server = DrtmServer(sim, cluster, capacity=capacity, **kwargs)
+    return sim, cluster, server
+
+
+class TestDrtmSemantics:
+    def test_put_then_get(self):
+        sim, cluster, server = make_drtm()
+        client = server.connect(cluster.client_machines[0])
+
+        def body(sim):
+            yield from client.put(b"key-0000000001", b"payload")
+            return (yield from client.get(b"key-0000000001"))
+
+        proc = sim.process(body(sim))
+        sim.run()
+        assert proc.value == b"payload"
+
+    def test_get_missing_returns_none(self):
+        sim, cluster, server = make_drtm()
+        client = server.connect(cluster.client_machines[0])
+
+        def body(sim):
+            return (yield from client.get(b"missing-key"))
+
+        proc = sim.process(body(sim))
+        sim.run()
+        assert proc.value is None
+
+    def test_update(self):
+        sim, cluster, server = make_drtm()
+        client = server.connect(cluster.client_machines[0])
+
+        def body(sim):
+            yield from client.put(b"k", b"old")
+            yield from client.put(b"k", b"new")
+            return (yield from client.get(b"k"))
+
+        proc = sim.process(body(sim))
+        sim.run()
+        assert proc.value == b"new"
+
+    def test_preload_visible(self):
+        sim, cluster, server = make_drtm()
+        server.preload((f"key-{i}".encode(), f"v{i}".encode()) for i in range(100))
+        client = server.connect(cluster.client_machines[0])
+
+        def body(sim):
+            return (yield from client.get(b"key-42"))
+
+        proc = sim.process(body(sim))
+        sim.run()
+        assert proc.value == b"v42"
+
+    def test_server_cpu_never_involved(self):
+        sim, cluster, server = make_drtm()
+        server.preload([(b"k", b"v")])
+        client = server.connect(cluster.client_machines[0])
+
+        def body(sim):
+            for _ in range(10):
+                yield from client.get(b"k")
+                yield from client.put(b"k", b"v2")
+
+        sim.process(body(sim))
+        sim.run()
+        # Every single operation was one-sided: served by the NIC alone.
+        assert cluster.server.rnic.in_pipeline.operations > 0
+
+    def test_value_size_validated(self):
+        sim, cluster, server = make_drtm(max_value_bytes=32)
+        client = server.connect(cluster.client_machines[0])
+        with pytest.raises(KVError):
+            next(client.put(b"k", bytes(33)))
+
+
+class TestDrtmAmplificationAndContention:
+    def test_every_get_costs_at_least_three_ops(self):
+        """Lock + read + unlock: the §5 amplification in its purest form."""
+        sim, cluster, server = make_drtm()
+        server.preload([(f"key-{i}".encode(), b"v") for i in range(50)])
+        client = server.connect(cluster.client_machines[0])
+
+        def body(sim):
+            for i in range(50):
+                yield from client.get(f"key-{i}".encode())
+
+        sim.process(body(sim))
+        sim.run()
+        assert client.stats.ops_per_request() >= 3.0
+
+    def test_mutual_exclusion_under_contention(self):
+        """Concurrent writers to one hot key never interleave torn state."""
+        sim, cluster, server = make_drtm()
+        server.preload([(b"hot", b"X" * 16)])
+        clients = [server.connect(cluster.client_machines[m]) for m in range(4)]
+        observed = []
+
+        def writer(sim, client, byte):
+            for _ in range(25):
+                yield from client.put(b"hot", bytes([byte]) * 16)
+
+        def reader(sim, client):
+            for _ in range(120):
+                value = yield from client.get(b"hot")
+                observed.append(value)
+
+        for index, client in enumerate(clients[:3]):
+            sim.process(writer(sim, client, 65 + index))
+        sim.process(reader(sim, clients[3]))
+        sim.run()
+        # Locked access: a reader can never see a half-written value.
+        for value in observed:
+            assert len(set(value)) == 1, f"torn read escaped the lock: {value!r}"
+
+    def test_hot_key_contention_burns_cas_retries(self):
+        sim, cluster, server = make_drtm()
+        server.preload([(b"hot", b"v")])
+        clients = [server.connect(cluster.client_machines[m % 7]) for m in range(8)]
+
+        def hammer(sim, client):
+            for _ in range(40):
+                yield from client.get(b"hot")
+
+        for client in clients:
+            sim.process(hammer(sim, client))
+        sim.run()
+        total_retries = sum(c.stats.cas_retries.value for c in clients)
+        assert total_retries > 0
+
+    def test_uniform_load_mostly_retry_free(self):
+        sim, cluster, server = make_drtm(capacity=4096)
+        keys = [f"key-{i}".encode() for i in range(512)]
+        server.preload((k, b"v") for k in keys)
+        clients = [server.connect(cluster.client_machines[m % 7]) for m in range(8)]
+
+        def spread(sim, client, offset):
+            for i in range(40):
+                yield from client.get(keys[(offset + i * 13) % 512])
+
+        for index, client in enumerate(clients):
+            sim.process(spread(sim, client, index * 63))
+        sim.run()
+        total_ops = sum(c.stats.rdma_ops.value for c in clients)
+        total_retries = sum(c.stats.cas_retries.value for c in clients)
+        assert total_retries < 0.05 * total_ops

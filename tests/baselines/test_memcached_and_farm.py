@@ -1,0 +1,234 @@
+"""Tests for the RDMA-Memcached and FaRM baselines."""
+
+import pytest
+
+from repro.baselines import (
+    FarmServer,
+    MemcachedCostModel,
+    RdmaMemcachedServer,
+    build_serverreply_kv,
+)
+from repro.hw import CLUSTER_EUROSYS17, build_cluster
+from repro.sim import Simulator, ThroughputMeter
+
+
+def make_memcached(threads=16, **kwargs):
+    sim = Simulator()
+    cluster = build_cluster(sim, CLUSTER_EUROSYS17)
+    server = RdmaMemcachedServer(sim, cluster, threads=threads, **kwargs)
+    return sim, cluster, server
+
+
+class TestMemcachedSemantics:
+    def test_put_get_round_trip(self):
+        sim, cluster, server = make_memcached(threads=4)
+        client = server.connect(cluster.client_machines[0])
+
+        def body(sim):
+            yield from client.put(b"k", b"v")
+            return (yield from client.get(b"k"))
+
+        proc = sim.process(body(sim))
+        sim.run()
+        assert proc.value == b"v"
+
+    def test_get_missing(self):
+        sim, cluster, server = make_memcached(threads=4)
+        client = server.connect(cluster.client_machines[0])
+
+        def body(sim):
+            return (yield from client.get(b"missing"))
+
+        proc = sim.process(body(sim))
+        sim.run()
+        assert proc.value is None
+
+    def test_shared_cache_visible_across_threads(self):
+        """Unlike EREW Jakiro, any thread can serve any key (shared)."""
+        sim, cluster, server = make_memcached(threads=8)
+        writer = server.connect(cluster.client_machines[0])
+        readers = [server.connect(cluster.client_machines[m]) for m in range(1, 5)]
+        values = []
+
+        def write(sim):
+            yield from writer.put(b"shared", b"data")
+
+        def read(sim, client):
+            yield sim.timeout(200.0)
+            values.append((yield from client.get(b"shared")))
+
+        sim.process(write(sim))
+        for reader in readers:
+            sim.process(read(sim, reader))
+        sim.run()
+        assert values == [b"data"] * 4
+
+    def test_lru_eviction_at_capacity(self):
+        sim, cluster, server = make_memcached(threads=2, capacity=3)
+        client = server.connect(cluster.client_machines[0])
+
+        def body(sim):
+            for i in range(5):
+                yield from client.put(f"k{i}".encode(), b"v")
+            return (yield from client.get(b"k0"))
+
+        proc = sim.process(body(sim))
+        sim.run()
+        assert proc.value is None
+        assert server.cache.evictions == 2
+
+    def test_lock_contention_counted(self):
+        sim, cluster, server = make_memcached(threads=16)
+        clients = [server.connect(cluster.client_machines[i % 7]) for i in range(20)]
+
+        def loop(sim, client, tag):
+            for i in range(15):
+                yield from client.put(f"{tag}-{i}".encode(), b"v")
+
+        for i, client in enumerate(clients):
+            sim.process(loop(sim, client, i))
+        sim.run()
+        assert server.kv_stats.lock_waits.value > 0
+
+
+def measure_memcached(threads, get_ratio=0.95, window=8000.0, clients=35):
+    sim, cluster, server = make_memcached(threads=threads)
+    # Keyspace much larger than the locality window, so uniform load does
+    # not ride the hot-key shortcut.
+    keys = [f"key-{i}".encode() for i in range(4096)]
+    server.preload((k, bytes(32)) for k in keys)
+    meter = ThroughputMeter(window_start=window * 0.25, window_end=window)
+
+    def loop(sim, client, offset):
+        index = offset
+        while True:
+            key = keys[(index * 7919) % len(keys)]
+            if (index % 100) < get_ratio * 100:
+                yield from client.get(key)
+            else:
+                yield from client.put(key, bytes(32))
+            meter.record(sim.now)
+            index += 1
+
+    for i in range(clients):
+        client = server.connect(cluster.client_machines[i % 7])
+        sim.process(loop(sim, client, i * 31))
+    sim.run(until=window)
+    return meter.mops(elapsed=window * 0.75)
+
+
+class TestMemcachedScaling:
+    def test_throughput_scales_with_threads_until_16(self):
+        """Fig. 12: CPU-bound — more threads help, unlike ServerReply."""
+        at_4 = measure_memcached(4)
+        at_16 = measure_memcached(16)
+        assert at_16 > 2.0 * at_4
+
+    def test_peak_near_paper_value(self):
+        """Paper: ~1.3 MOPS at 16 threads, 95% GET, 32 B values."""
+        assert measure_memcached(16) == pytest.approx(1.3, rel=0.25)
+
+    def test_write_heavy_collapses(self):
+        """Fig. 16: the global lock serializes PUT-heavy load."""
+        read_heavy = measure_memcached(16, get_ratio=0.95)
+        write_heavy = measure_memcached(16, get_ratio=0.05)
+        assert write_heavy < 0.5 * read_heavy
+
+
+class TestFarm:
+    def make_farm(self, **kwargs):
+        sim = Simulator()
+        cluster = build_cluster(sim, CLUSTER_EUROSYS17)
+        server = FarmServer(sim, cluster, **kwargs)
+        return sim, cluster, server
+
+    def test_put_get_round_trip(self):
+        sim, cluster, server = self.make_farm()
+        client = server.connect(cluster.client_machines[0])
+
+        def body(sim):
+            yield from client.put(b"key-000000000001", b"value")
+            yield sim.timeout(5.0)
+            return (yield from client.get(b"key-000000000001"))
+
+        proc = sim.process(body(sim))
+        sim.run()
+        assert proc.value == b"value"
+
+    def test_get_missing(self):
+        sim, cluster, server = self.make_farm()
+        client = server.connect(cluster.client_machines[0])
+
+        def body(sim):
+            return (yield from client.get(b"gone"))
+
+        proc = sim.process(body(sim))
+        sim.run()
+        assert proc.value is None
+
+    def test_one_read_fetches_whole_neighborhood(self):
+        """FaRM's trade: few reads, many bytes (N*(Sk+Sv) per GET)."""
+        sim, cluster, server = self.make_farm(neighborhood=8)
+        keys = [f"key-{i:012d}".encode() for i in range(1000)]
+        server.preload((k, bytes(32)) for k in keys)
+        client = server.connect(cluster.client_machines[0])
+
+        def body(sim):
+            for key in keys[::29]:
+                value = yield from client.get(key)
+                assert value == bytes(32)
+
+        sim.process(body(sim))
+        sim.run()
+        reads_per_get = client.stats.rdma_reads.value / client.stats.gets.value
+        assert reads_per_get < 1.5  # usually one (two only at the wrap)
+        # ... but each GET hauled the full neighborhood.
+        assert client.stats.bytes_per_get() >= 8 * server.slot_bytes * 0.9
+
+    def test_farm_fetches_more_bytes_than_pilaf_for_same_data(self):
+        from repro.baselines import PilafServer
+
+        sim, cluster, server = self.make_farm(neighborhood=8)
+        keys = [f"key-{i:012d}".encode() for i in range(500)]
+        server.preload((k, bytes(32)) for k in keys)
+        farm_client = server.connect(cluster.client_machines[0])
+
+        sim2 = Simulator()
+        cluster2 = build_cluster(sim2, CLUSTER_EUROSYS17)
+        pilaf = PilafServer(sim2, cluster2, capacity=2048)
+        pilaf.preload((k, bytes(32)) for k in keys)
+        pilaf_client = pilaf.connect(cluster2.client_machines[0])
+
+        def farm_body(sim):
+            for key in keys[::17]:
+                yield from farm_client.get(key)
+
+        def pilaf_body(sim):
+            for key in keys[::17]:
+                yield from pilaf_client.get(key)
+
+        sim.process(farm_body(sim))
+        sim.run()
+        sim2.process(pilaf_body(sim2))
+        sim2.run()
+        farm_bytes = farm_client.stats.bytes_per_get()
+        pilaf_reads = pilaf_client.stats.reads_per_get()
+        assert farm_bytes > 300  # an order more than one 32 B value
+        assert pilaf_reads > 2.0  # but Pilaf pays in operations
+
+
+class TestServerReplyKv:
+    def test_round_trip_and_reply_counting(self):
+        sim = Simulator()
+        cluster = build_cluster(sim, CLUSTER_EUROSYS17)
+        kv = build_serverreply_kv(sim, cluster, threads=4)
+        client = kv.connect(cluster.client_machines[0])
+
+        def body(sim):
+            yield from client.put(b"k", b"v")
+            return (yield from client.get(b"k"))
+
+        proc = sim.process(body(sim))
+        sim.run()
+        assert proc.value == b"v"
+        assert kv.server.stats.replies_sent.value == 2

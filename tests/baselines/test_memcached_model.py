@@ -1,0 +1,81 @@
+"""Focused tests for the RDMA-Memcached cost/locality model."""
+
+import pytest
+
+from repro.baselines import MemcachedCostModel, RdmaMemcachedServer
+from repro.baselines.rdma_memcached import _SharedLruCache
+from repro.errors import KVError
+from repro.hw import CLUSTER_EUROSYS17, build_cluster
+from repro.sim import Simulator
+
+
+class TestSharedLruCache:
+    def test_put_get(self):
+        cache = _SharedLruCache(4)
+        cache.put(b"a", b"1")
+        assert cache.get(b"a") == b"1"
+        assert cache.get(b"b") is None
+
+    def test_eviction_order_is_lru(self):
+        cache = _SharedLruCache(2)
+        cache.put(b"a", b"1")
+        cache.put(b"b", b"2")
+        cache.get(b"a")  # refresh a; b is now LRU
+        cache.put(b"c", b"3")
+        assert cache.get(b"b") is None
+        assert cache.get(b"a") == b"1"
+        assert cache.evictions == 1
+
+    def test_update_does_not_evict(self):
+        cache = _SharedLruCache(2)
+        cache.put(b"a", b"1")
+        cache.put(b"b", b"2")
+        cache.put(b"a", b"new")
+        assert cache.evictions == 0
+        assert len(cache) == 2
+
+    def test_capacity_validated(self):
+        with pytest.raises(KVError):
+            _SharedLruCache(0)
+
+
+class TestLocalityModel:
+    def make_server(self, **cost_kwargs):
+        sim = Simulator()
+        cluster = build_cluster(sim, CLUSTER_EUROSYS17)
+        model = MemcachedCostModel(**cost_kwargs)
+        server = RdmaMemcachedServer(sim, cluster, threads=2, cost_model=model)
+        return sim, cluster, server
+
+    def test_first_touch_is_cold(self):
+        _, _, server = self.make_server()
+        assert server._locality(b"fresh") == 1.0
+
+    def test_second_touch_is_hot(self):
+        _, _, server = self.make_server(locality_factor=0.3)
+        server._locality(b"k")
+        assert server._locality(b"k") == 0.3
+
+    def test_window_evicts_old_keys(self):
+        _, _, server = self.make_server(locality_window=4)
+        server._locality(b"old")
+        for i in range(4):
+            server._locality(f"filler-{i}".encode())
+        assert server._locality(b"old") == 1.0  # fell out of the window
+
+    def test_touch_refreshes_recency(self):
+        _, _, server = self.make_server(locality_window=3, locality_factor=0.5)
+        server._locality(b"keep")
+        server._locality(b"x1")
+        server._locality(b"keep")  # refresh
+        server._locality(b"x2")
+        server._locality(b"x3")
+        assert server._locality(b"keep") == 0.5  # still resident
+
+    def test_paper_calibration_constants(self):
+        model = MemcachedCostModel()
+        # GET path CPU sums to ~11 us: 16 threads -> ~1.3-1.45 MOPS cap.
+        per_get = model.recv_handling_us + model.get_lock_us + model.get_process_us
+        assert 16 / per_get == pytest.approx(1.48, rel=0.05)
+        # The global write lock alone caps PUT-heavy load below 0.5 MOPS.
+        assert 1.0 / model.put_lock_us < 0.5

@@ -1,0 +1,29 @@
+"""The install self-check must pass on a correct checkout."""
+
+from repro.bench.validation import format_validation, run_validation
+
+
+def test_validation_suite_passes():
+    checks = run_validation()
+    report = format_validation(checks)
+    assert all(check.passed for check in checks), "\n" + report
+    # Every headline constant is covered.
+    names = " ".join(check.name for check in checks)
+    assert "in-bound peak" in names
+    assert "out-bound peak" in names
+    assert "[L, H]" in names
+    assert "Jakiro end-to-end" in names
+    assert "model vs simulator" in names
+
+
+def test_format_marks_failures():
+    from repro.bench.validation import ValidationCheck
+
+    checks = [
+        ValidationCheck("good", "1", "1", True),
+        ValidationCheck("bad", "1", "2", False),
+    ]
+    report = format_validation(checks)
+    assert "[PASS] good" in report
+    assert "[FAIL] bad" in report
+    assert "1 FAILED" in report

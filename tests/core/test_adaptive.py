@@ -1,0 +1,148 @@
+"""Tests for online (R, F) adaptation (§3.2's periodic sampling)."""
+
+import pytest
+
+from repro.bench.calibration import model_inbound_iops
+from repro.core import AdaptiveParameterController, RfpClient, RfpConfig, RfpServer
+from repro.errors import ProtocolError
+from repro.hw import CLUSTER_EUROSYS17, build_cluster
+from repro.sim import Simulator
+
+
+def make_rig(response_size, client_count=2):
+    sim = Simulator()
+    cluster = build_cluster(sim, CLUSTER_EUROSYS17)
+    state = {"size": response_size}
+
+    def handler(payload, ctx):
+        return bytes(state["size"]), 0.2
+
+    server = RfpServer(sim, cluster, cluster.server, handler, threads=2)
+    clients = [
+        RfpClient(sim, cluster.client_machines[i % 7], server)
+        for i in range(client_count)
+    ]
+    return sim, state, clients
+
+
+def make_controller(sim, clients, **kwargs):
+    defaults = dict(
+        iops_at=model_inbound_iops(),
+        retry_upper_bound=5,
+        size_lower_bound=256,
+        size_upper_bound=1024,
+        interval_us=200.0,
+        min_samples=32,
+    )
+    defaults.update(kwargs)
+    return AdaptiveParameterController(sim, clients, **defaults)
+
+
+def drive(sim, client, calls):
+    def body(sim):
+        for _ in range(calls):
+            yield from client.call(b"q")
+
+    return sim.process(body(sim))
+
+
+class TestAdaptiveController:
+    def test_small_results_keep_small_fetch(self):
+        sim, _, clients = make_rig(response_size=32)
+        controller = make_controller(sim, clients)
+        controller.start()
+        for client in clients:
+            drive(sim, client, 100)
+        sim.run(until=2000.0)
+        assert controller.current_parameters == (5, 256)
+
+    def test_growing_results_grow_fetch_size(self):
+        """Values grow mid-run: F must follow within an interval."""
+        sim, state, clients = make_rig(response_size=32)
+        controller = make_controller(sim, clients)
+        controller.start()
+        for client in clients:
+            drive(sim, client, 600)
+        sim.schedule(400.0, lambda: state.__setitem__("size", 500))
+        sim.run(until=4000.0)
+        retry, fetch = controller.current_parameters
+        assert fetch >= 500 + 8
+        assert retry == 5
+        assert len(controller.history) >= 1
+
+    def test_adaptation_reduces_two_read_fetches(self):
+        """After F adapts to bigger values, fetches go back to one read."""
+
+        def remote_reads_per_call(adaptive):
+            sim, state, clients = make_rig(response_size=480, client_count=1)
+            if adaptive:
+                controller = make_controller(sim, clients, min_samples=16)
+                # The controller ticks forever, so bound the run instead
+                # of draining the heap.
+                controller.start()
+            proc = drive(sim, clients[0], 400)
+            sim.run(until=20_000.0)
+            client = clients[0]
+            assert proc.finished, "drive did not complete within the window"
+            return client.stats.remote_reads.value / client.stats.calls.value
+
+        assert remote_reads_per_call(adaptive=True) < remote_reads_per_call(
+            adaptive=False
+        )
+
+    def test_adapt_once_respects_min_samples(self):
+        sim, _, clients = make_rig(response_size=32)
+        controller = make_controller(sim, clients, min_samples=1000)
+        drive(sim, clients[0], 50)
+        sim.run()
+        assert controller.adapt_once() is None
+
+    def test_no_spurious_history_when_stable(self):
+        sim, _, clients = make_rig(response_size=32)
+        controller = make_controller(sim, clients)
+        controller.start()
+        for client in clients:
+            drive(sim, client, 300)
+        sim.run(until=3000.0)
+        # Initial config already optimal for 32 B: no recorded changes.
+        assert controller.history == []
+
+    def test_validation(self):
+        sim, _, clients = make_rig(response_size=32)
+        with pytest.raises(ProtocolError):
+            make_controller(sim, [], min_samples=1)
+        with pytest.raises(ProtocolError):
+            make_controller(sim, clients, interval_us=0.0)
+
+
+class TestApplyParameters:
+    def test_apply_updates_config_and_policy(self):
+        sim, _, clients = make_rig(response_size=32, client_count=1)
+        client = clients[0]
+        client.apply_parameters(retry_bound=3, fetch_size=640)
+        assert client.config.retry_bound == 3
+        assert client.config.fetch_size == 640
+        assert client.policy.config is client.config
+
+    def test_apply_validates_through_config(self):
+        sim, _, clients = make_rig(response_size=32, client_count=1)
+        with pytest.raises(ProtocolError):
+            clients[0].apply_parameters(retry_bound=0, fetch_size=256)
+
+    def test_new_fetch_size_used_by_next_call(self):
+        sim, _, clients = make_rig(response_size=480, client_count=1)
+        client = clients[0]
+
+        def body(sim):
+            yield from client.call(b"a")  # F=256: two reads
+            first = client.stats.remote_reads.value
+            client.apply_parameters(5, 640)
+            yield from client.call(b"b")  # F=640: one read
+            second = client.stats.remote_reads.value - first
+            return first, second
+
+        proc = sim.process(body(sim))
+        sim.run()
+        first, second = proc.value
+        assert first == 2
+        assert second == 1

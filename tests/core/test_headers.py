@@ -1,0 +1,79 @@
+"""Unit tests for the Fig. 7 wire headers."""
+
+import pytest
+
+from repro.core import (
+    REQUEST_HEADER_BYTES,
+    RESPONSE_HEADER_BYTES,
+    RequestHeader,
+    ResponseHeader,
+)
+from repro.errors import ProtocolError
+
+
+class TestRequestHeader:
+    def test_round_trip(self):
+        header = RequestHeader(status=1, size=12345)
+        packed = header.pack()
+        assert len(packed) == REQUEST_HEADER_BYTES
+        assert RequestHeader.unpack(packed) == header
+
+    def test_status_zero_round_trip(self):
+        header = RequestHeader(status=0, size=7)
+        assert RequestHeader.unpack(header.pack()) == header
+
+    def test_size_is_31_bits(self):
+        RequestHeader(status=0, size=2**31 - 1).pack()
+        with pytest.raises(ProtocolError):
+            RequestHeader(status=0, size=2**31).pack()
+        with pytest.raises(ProtocolError):
+            RequestHeader(status=0, size=-1).pack()
+
+    def test_status_is_one_bit(self):
+        with pytest.raises(ProtocolError):
+            RequestHeader(status=2, size=0).pack()
+
+    def test_short_buffer_rejected(self):
+        with pytest.raises(ProtocolError):
+            RequestHeader.unpack(b"\x00\x01")
+
+    def test_unpack_ignores_trailing_payload(self):
+        packed = RequestHeader(status=1, size=3).pack() + b"abc"
+        assert RequestHeader.unpack(packed).size == 3
+
+
+class TestResponseHeader:
+    def test_round_trip_with_time(self):
+        header = ResponseHeader(status=1, size=99, time_tenths_us=123)
+        packed = header.pack()
+        assert len(packed) == RESPONSE_HEADER_BYTES
+        assert ResponseHeader.unpack(packed) == header
+
+    def test_time_us_decoding(self):
+        header = ResponseHeader(status=0, size=0, time_tenths_us=57)
+        assert header.time_us == pytest.approx(5.7)
+
+    def test_encode_time_rounds_to_tenths(self):
+        assert ResponseHeader.encode_time(5.78) == 58
+        assert ResponseHeader.encode_time(0.0) == 0
+
+    def test_encode_time_saturates_at_16_bits(self):
+        assert ResponseHeader.encode_time(1e9) == 0xFFFF
+
+    def test_encode_negative_time_rejected(self):
+        with pytest.raises(ProtocolError):
+            ResponseHeader.encode_time(-1.0)
+
+    def test_time_overflow_rejected_on_pack(self):
+        with pytest.raises(ProtocolError):
+            ResponseHeader(status=0, size=0, time_tenths_us=0x10000).pack()
+
+    def test_short_buffer_rejected(self):
+        with pytest.raises(ProtocolError):
+            ResponseHeader.unpack(b"\x00" * 4)
+
+    def test_parity_bit_distinguishes_consecutive_responses(self):
+        """The 1-bit status implements a parity toggle (stale detection)."""
+        first = ResponseHeader(status=1, size=8).pack()
+        second = ResponseHeader(status=0, size=8).pack()
+        assert ResponseHeader.unpack(first).status != ResponseHeader.unpack(second).status

@@ -1,0 +1,101 @@
+"""Randomized end-to-end stress of the RFP protocol.
+
+One scenario generator drives clients with random payload sizes against
+a server whose process time swings between fast and pathological, so
+every protocol feature fires within one run: multi-read fetches, slow
+calls, mid-call switches, late replies, switch-backs.  The invariant is
+absolute: **every call returns exactly its own response** (tagged with
+the client id and sequence number), and the run terminates.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Mode, RfpClient, RfpConfig, RfpServer
+from repro.hw import CLUSTER_EUROSYS17, build_cluster
+from repro.sim import Simulator
+
+
+def run_stress(seed, clients=6, calls=60, max_payload=3000):
+    rng = np.random.default_rng(seed)
+    sim = Simulator()
+    cluster = build_cluster(sim, CLUSTER_EUROSYS17)
+    # Server process times: mostly sub-µs, occasionally awful — drawn
+    # deterministically per request from the request tag.
+    def handler(payload, ctx):
+        tag = payload[:16]
+        body_len = int.from_bytes(payload[16:20], "little")
+        process = float(int.from_bytes(payload[20:24], "little")) / 10.0
+        return tag + bytes(body_len), process
+
+    server = RfpServer(sim, cluster, cluster.server, handler, threads=4)
+    results = {}
+
+    def client_body(sim, client, client_index):
+        local_rng = np.random.default_rng(seed * 1000 + client_index)
+        for call_index in range(calls):
+            tag = f"{client_index:04d}-{call_index:06d}".encode().ljust(16, b"_")
+            body_len = int(local_rng.integers(0, max_payload))
+            # ~8% of calls hit a pathological process time (4-30 us).
+            if local_rng.random() < 0.08:
+                process_tenths = int(local_rng.integers(40, 300))
+            else:
+                process_tenths = int(local_rng.integers(0, 9))
+            request = (
+                tag
+                + body_len.to_bytes(4, "little")
+                + process_tenths.to_bytes(4, "little")
+            )
+            response = yield from client.call(request)
+            # THE invariant: the response is this call's, byte-exact.
+            assert response == tag + bytes(body_len), (
+                f"client {client_index} call {call_index} got a foreign "
+                f"or corrupt response"
+            )
+        results[client_index] = True
+
+    client_objects = []
+    for index in range(clients):
+        client = RfpClient(sim, cluster.client_machines[index % 7], server)
+        client_objects.append(client)
+        sim.process(client_body(sim, client, index))
+    sim.run()
+    return results, server, client_objects
+
+
+class TestProtocolStress:
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+    def test_every_call_gets_its_own_response(self, seed):
+        results, server, clients = run_stress(seed)
+        assert len(results) == 6  # every client finished every call
+        assert server.stats.requests.value == 6 * 60
+
+    def test_stress_actually_exercises_the_hybrid(self):
+        """The scenario is only a stress test if the hard paths fire."""
+        switched = 0
+        multi_read = 0
+        replies = 0
+        for seed in (1, 2, 3):
+            _, server, clients = run_stress(seed)
+            replies += server.stats.replies_sent.value
+            for client in clients:
+                switched += client.policy.switches_to_reply
+                if client.stats.fetch_attempts.count:
+                    if max(client.stats.fetch_attempts.samples) > 1:
+                        multi_read += 1
+        assert switched > 0, "no client ever switched to server-reply"
+        assert replies > 0, "no reply was ever pushed"
+        assert multi_read > 0, "no fetch ever needed a retry"
+
+    def test_switch_backs_happen_and_recover(self):
+        _, server, clients = run_stress(seed=2, calls=120)
+        switch_backs = sum(c.policy.switches_to_fetch for c in clients)
+        assert switch_backs > 0, "no client ever recovered to remote fetching"
+        # After a full run dominated by fast calls, clients end fetching.
+        fetching = sum(1 for c in clients if c.mode is Mode.REMOTE_FETCH)
+        assert fetching >= len(clients) - 1
+
+    def test_deterministic_given_seed(self):
+        first = run_stress(seed=7, clients=3, calls=30)[1].stats.requests.value
+        second = run_stress(seed=7, clients=3, calls=30)[1].stats.requests.value
+        assert first == second

@@ -1,0 +1,243 @@
+"""Integration tests: RFP client/server over the simulated cluster."""
+
+import pytest
+
+from repro.core import Mode, RfpClient, RfpConfig, RfpServer
+from repro.errors import ProtocolError
+from repro.hw import CLUSTER_EUROSYS17, build_cluster
+from repro.sim import Simulator
+
+
+def echo_handler(payload, ctx):
+    """Echo with negligible process time."""
+    return payload, 0.0
+
+
+def make_rig(handler=echo_handler, threads=2, config=None, client_count=1):
+    sim = Simulator()
+    cluster = build_cluster(sim, CLUSTER_EUROSYS17)
+    config = config or RfpConfig()
+    server = RfpServer(sim, cluster, cluster.server, handler, threads, config)
+    clients = [
+        RfpClient(sim, cluster.client_machines[i % 7], server, config)
+        for i in range(client_count)
+    ]
+    return sim, cluster, server, clients
+
+
+def drive(sim, client, payloads):
+    """Run a sequence of calls on one client; returns responses."""
+
+    def body(sim):
+        responses = []
+        for payload in payloads:
+            response = yield from client.call(payload)
+            responses.append(response)
+        return responses
+
+    return sim.process(body(sim))
+
+
+class TestBasicRpc:
+    def test_echo_round_trip(self):
+        sim, _, _, (client,) = make_rig()
+        proc = drive(sim, client, [b"hello rfp"])
+        sim.run()
+        assert proc.value == [b"hello rfp"]
+
+    def test_many_sequential_calls(self):
+        sim, _, server, (client,) = make_rig()
+        payloads = [f"call-{i}".encode() for i in range(50)]
+        proc = drive(sim, client, payloads)
+        sim.run()
+        assert proc.value == payloads
+        assert client.stats.calls.value == 50
+        assert server.stats.requests.value == 50
+
+    def test_concurrent_clients_are_isolated(self):
+        sim, _, _, clients = make_rig(client_count=8, threads=4)
+        procs = [
+            drive(sim, client, [f"c{i}-{j}".encode() for j in range(20)])
+            for i, client in enumerate(clients)
+        ]
+        sim.run()
+        for i, proc in enumerate(procs):
+            assert proc.value == [f"c{i}-{j}".encode() for j in range(20)]
+
+    def test_fast_server_keeps_remote_fetch_mode(self):
+        sim, _, server, (client,) = make_rig()
+        proc = drive(sim, client, [b"x"] * 30)
+        sim.run()
+        assert proc.value is not None
+        assert client.mode is Mode.REMOTE_FETCH
+        # The server never issued a single reply (pure in-bound service).
+        assert server.stats.replies_sent.value == 0
+
+    def test_fetch_usually_succeeds_first_try_on_fast_server(self):
+        sim, _, _, (client,) = make_rig()
+        drive(sim, client, [b"y"] * 40)
+        sim.run()
+        assert client.stats.fetch_attempts.mean() < 1.5
+
+    def test_empty_payload_response(self):
+        sim, _, _, (client,) = make_rig(handler=lambda p, c: (b"", 0.0))
+        proc = drive(sim, client, [b"query"])
+        sim.run()
+        assert proc.value == [b""]
+
+    def test_oversized_request_rejected(self):
+        sim, _, _, (client,) = make_rig()
+        with pytest.raises(ProtocolError):
+            # Generator raises on first advance.
+            next(client.call(b"z" * (1 << 20)))
+
+    def test_recv_without_send_rejected(self):
+        sim, _, _, (client,) = make_rig()
+        with pytest.raises(ProtocolError):
+            next(client.client_recv())
+
+
+class TestLargeResponses:
+    def test_response_larger_than_fetch_size_needs_two_reads(self):
+        big = bytes(range(256)) * 8  # 2048 B
+        sim, _, _, (client,) = make_rig(handler=lambda p, c: (big, 0.0))
+        proc = drive(sim, client, [b"get-big"])
+        sim.run()
+        assert proc.value == [big]
+        # One successful first fetch + one remainder read.
+        assert client.stats.remote_reads.value == 2
+
+    def test_response_exactly_fetch_capacity_is_one_read(self):
+        config = RfpConfig(fetch_size=256)
+        exact = bytes(248)  # 256 - 8-byte header
+        sim, _, _, (client,) = make_rig(
+            handler=lambda p, c: (exact, 0.0), config=config
+        )
+        proc = drive(sim, client, [b"q"])
+        sim.run()
+        assert proc.value == [exact]
+        assert client.stats.remote_reads.value == 1
+
+    def test_response_overflowing_buffer_rejected(self):
+        huge = bytes(64 * 1024)
+        sim, _, _, (client,) = make_rig(handler=lambda p, c: (huge, 0.0))
+        drive(sim, client, [b"q"])
+        from repro.sim import SimulationError
+
+        with pytest.raises((ProtocolError, SimulationError)):
+            sim.run()
+
+
+class TestHybridSwitch:
+    def slow_handler(self, process_us):
+        def handler(payload, ctx):
+            return payload, process_us
+
+        return handler
+
+    def test_slow_server_switches_to_server_reply(self):
+        """Two consecutive calls with 5 failed retries => switch (§3.2)."""
+        sim, _, server, (client,) = make_rig(handler=self.slow_handler(30.0))
+        proc = drive(sim, client, [b"a", b"b", b"c", b"d"])
+        sim.run()
+        assert proc.value == [b"a", b"b", b"c", b"d"]
+        assert client.mode is Mode.SERVER_REPLY
+        assert client.policy.switches_to_reply == 1
+        assert server.stats.replies_sent.value >= 2
+
+    def test_switch_happens_after_two_slow_calls_not_one(self):
+        sim, _, _, (client,) = make_rig(handler=self.slow_handler(30.0))
+        proc = drive(sim, client, [b"a"])
+        sim.run()
+        # One slow call alone must not switch.
+        assert proc.value == [b"a"]
+        assert client.mode is Mode.REMOTE_FETCH
+
+    def test_hybrid_disabled_never_switches(self):
+        config = RfpConfig(hybrid_enabled=False)
+        sim, _, server, (client,) = make_rig(
+            handler=self.slow_handler(30.0), config=config
+        )
+        proc = drive(sim, client, [b"a", b"b", b"c"])
+        sim.run()
+        assert proc.value == [b"a", b"b", b"c"]
+        assert client.mode is Mode.REMOTE_FETCH
+        assert server.stats.replies_sent.value == 0
+
+    def test_switch_back_when_server_speeds_up(self):
+        state = {"process": 30.0}
+
+        def handler(payload, ctx):
+            return payload, state["process"]
+
+        sim, _, _, (client,) = make_rig(handler=handler)
+
+        def body(sim):
+            for _ in range(3):  # drive into server-reply mode
+                yield from client.call(b"slow")
+            assert client.mode is Mode.SERVER_REPLY
+            state["process"] = 0.5  # server load drops
+            yield from client.call(b"fast")
+            return client.mode
+
+        proc = sim.process(body(sim))
+        sim.run()
+        assert proc.value is Mode.REMOTE_FETCH
+        assert client.policy.switches_to_fetch == 1
+
+    def test_server_reply_mode_still_returns_correct_results(self):
+        sim, _, _, (client,) = make_rig(handler=self.slow_handler(30.0))
+        payloads = [f"p{i}".encode() for i in range(10)]
+        proc = drive(sim, client, payloads)
+        sim.run()
+        assert proc.value == payloads
+
+    def test_late_reply_resolves_mid_call_switch(self):
+        """The response may be buffered before the flag write lands; the
+        server must push it anyway (no deadlock)."""
+        sim, _, server, (client,) = make_rig(handler=self.slow_handler(9.0))
+        proc = drive(sim, client, [b"a", b"b", b"c", b"d", b"e"])
+        sim.run()
+        assert proc.value == [b"a", b"b", b"c", b"d", b"e"]
+        # At least one reply was sent (mid-call or later).
+        assert server.stats.replies_sent.value >= 1
+
+    def test_client_cpu_drops_in_server_reply_mode(self):
+        """Fig. 15: ~100% busy while fetching, far less when blocked."""
+        fetch_sim, _, _, (fetch_client,) = make_rig(handler=self.slow_handler(5.0))
+        drive(fetch_sim, fetch_client, [b"x"] * 40)
+        fetch_sim.run()
+        fetch_util = fetch_client.stats.busy.utilization(fetch_sim.now)
+
+        reply_sim, _, _, (reply_client,) = make_rig(handler=self.slow_handler(30.0))
+        drive(reply_sim, reply_client, [b"x"] * 40)
+        reply_sim.run()
+        reply_util = reply_client.stats.busy.utilization(reply_sim.now)
+
+        assert fetch_util > 0.85
+        assert reply_util < 0.30
+
+
+class TestServerValidation:
+    def test_zero_threads_rejected(self):
+        sim = Simulator()
+        cluster = build_cluster(sim, CLUSTER_EUROSYS17)
+        with pytest.raises(ProtocolError):
+            RfpServer(sim, cluster, cluster.server, echo_handler, threads=0)
+
+    def test_threads_bounded_by_cores(self):
+        sim = Simulator()
+        cluster = build_cluster(sim, CLUSTER_EUROSYS17)
+        with pytest.raises(ProtocolError):
+            RfpServer(sim, cluster, cluster.server, echo_handler, threads=17)
+
+    def test_clients_partitioned_round_robin(self):
+        sim, _, server, clients = make_rig(client_count=6, threads=3)
+        thread_ids = [client.channel.thread_id for client in clients]
+        assert thread_ids == [0, 1, 2, 0, 1, 2]
+
+    def test_response_time_recorded_in_header_units(self):
+        sim, _, server, (client,) = make_rig(handler=lambda p, c: (p, 4.0))
+        drive(sim, client, [b"q"] * 3)
+        sim.run()
+        assert server.stats.response_time_us.mean() >= 4.0

@@ -1,0 +1,111 @@
+"""Integration tests: the paper's §2.2 microbenchmarks emerge from the model.
+
+These mirror the experiments behind Figures 3-5: synchronous one-sided
+operation loops, one op in flight per thread, measured over a fixed window.
+"""
+
+import pytest
+
+from repro.hw import CLUSTER_EUROSYS17, CONNECTX3, build_cluster
+from repro.sim import Simulator, ThroughputMeter
+
+
+def sync_read_loop(sim, endpoint, local, remote, size, meter, post_cpu):
+    """A client thread issuing back-to-back synchronous RDMA Reads."""
+    while True:
+        yield sim.timeout(post_cpu)
+        yield endpoint.post_read(local, 0, remote, 0, size)
+        meter.record(sim.now)
+
+
+def sync_write_loop(sim, endpoint, local, remote, size, meter, post_cpu):
+    """A server thread issuing back-to-back synchronous RDMA Writes."""
+    while True:
+        yield sim.timeout(post_cpu)
+        yield endpoint.post_write(local, 0, remote, 0, size)
+        meter.record(sim.now)
+
+
+def run_inbound_benchmark(client_threads_per_machine, size=32, window=3000.0):
+    """7 client machines issue sync Reads at the server; report MOPS."""
+    sim = Simulator()
+    cluster = build_cluster(sim, CLUSTER_EUROSYS17)
+    server_mr = cluster.server.register_memory(1 << 20)
+    meter = ThroughputMeter(window_start=window * 0.2, window_end=window)
+    post_cpu = CONNECTX3.post_cpu_us
+    for machine in cluster.client_machines:
+        for _ in range(client_threads_per_machine):
+            endpoint, _ = cluster.connect(machine, cluster.server)
+            machine.rnic.register_issuer()
+            local = machine.register_memory(8192)
+            sim.process(
+                sync_read_loop(sim, endpoint, local, server_mr, size, meter, post_cpu)
+            )
+    sim.run(until=window)
+    return meter.mops(elapsed=window * 0.8)
+
+
+def run_outbound_benchmark(server_threads, size=32, window=3000.0):
+    """Server threads issue sync Writes to 7 client machines; report MOPS."""
+    sim = Simulator()
+    cluster = build_cluster(sim, CLUSTER_EUROSYS17)
+    meter = ThroughputMeter(window_start=window * 0.2, window_end=window)
+    post_cpu = CONNECTX3.post_cpu_us
+    for index in range(server_threads):
+        client = cluster.client_machines[index % len(cluster.client_machines)]
+        _, server_endpoint = cluster.connect(client, cluster.server)
+        cluster.server.rnic.register_issuer()
+        local = cluster.server.register_memory(8192)
+        remote = client.register_memory(8192)
+        sim.process(
+            sync_write_loop(sim, server_endpoint, local, remote, size, meter, post_cpu)
+        )
+    sim.run(until=window)
+    return meter.mops(elapsed=window * 0.8)
+
+
+class TestFig3Asymmetry:
+    def test_inbound_peak_near_paper_value(self):
+        mops = run_inbound_benchmark(client_threads_per_machine=5)
+        assert mops == pytest.approx(11.26, rel=0.08)
+
+    def test_outbound_saturates_near_paper_value(self):
+        mops = run_outbound_benchmark(server_threads=4)
+        assert mops == pytest.approx(2.11, rel=0.10)
+
+    def test_one_server_thread_cannot_saturate_outbound(self):
+        single = run_outbound_benchmark(server_threads=1)
+        saturated = run_outbound_benchmark(server_threads=4)
+        assert single < 0.75 * saturated
+
+    def test_asymmetry_factor_about_five(self):
+        inbound = run_inbound_benchmark(client_threads_per_machine=5)
+        outbound = run_outbound_benchmark(server_threads=4)
+        assert 4.0 < inbound / outbound < 6.5
+
+
+class TestFig4ClientScaling:
+    def test_inbound_declines_with_excess_client_threads(self):
+        """Fig. 4: aggregate in-bound sags once client threads pass ~35."""
+        at_35 = run_inbound_benchmark(client_threads_per_machine=5)
+        at_70 = run_inbound_benchmark(client_threads_per_machine=10)
+        assert at_70 < at_35
+        # The decline is mild (paper shows ~10-20%), not a collapse.
+        assert at_70 > 0.70 * at_35
+
+    def test_few_clients_cannot_saturate(self):
+        at_7 = run_inbound_benchmark(client_threads_per_machine=1)
+        at_35 = run_inbound_benchmark(client_threads_per_machine=5)
+        assert at_7 < 0.75 * at_35
+
+
+class TestFig5SizeSweep:
+    def test_directions_converge_at_2kb(self):
+        inbound = run_inbound_benchmark(client_threads_per_machine=5, size=2048)
+        outbound = run_outbound_benchmark(server_threads=4, size=2048)
+        assert outbound == pytest.approx(inbound, rel=0.30)
+
+    def test_inbound_wins_big_below_2kb(self):
+        inbound = run_inbound_benchmark(client_threads_per_machine=5, size=512)
+        outbound = run_outbound_benchmark(server_threads=4, size=512)
+        assert inbound > 2.5 * outbound

@@ -1,0 +1,124 @@
+"""Tests for the RDMA atomic verbs (CAS / fetch-and-add)."""
+
+import pytest
+
+from repro.errors import TransportError
+from repro.hw import CLUSTER_EUROSYS17, QPType, build_cluster
+from repro.sim import Simulator
+
+
+def make_rig(qp_type=QPType.RC):
+    sim = Simulator()
+    cluster = build_cluster(sim, CLUSTER_EUROSYS17)
+    endpoint, _ = cluster.connect(cluster.machines[1], cluster.server, qp_type)
+    region = cluster.server.register_memory(64)
+    return sim, cluster, endpoint, region
+
+
+class TestCompareAndSwap:
+    def test_successful_swap(self):
+        sim, _, endpoint, region = make_rig()
+        region.write_local(0, (7).to_bytes(8, "little"))
+
+        def body(sim):
+            original = yield endpoint.post_atomic_cas(region, 0, expected=7, swap=99)
+            return original
+
+        proc = sim.process(body(sim))
+        sim.run()
+        assert proc.value == 7
+        assert int.from_bytes(region.read_local(0, 8), "little") == 99
+
+    def test_failed_swap_leaves_memory_untouched(self):
+        sim, _, endpoint, region = make_rig()
+        region.write_local(0, (5).to_bytes(8, "little"))
+
+        def body(sim):
+            return (yield endpoint.post_atomic_cas(region, 0, expected=7, swap=99))
+
+        proc = sim.process(body(sim))
+        sim.run()
+        assert proc.value == 5  # the original reveals the mismatch
+        assert int.from_bytes(region.read_local(0, 8), "little") == 5
+
+    def test_concurrent_cas_serialized_one_winner(self):
+        """Two racing CAS ops on the same word: exactly one wins."""
+        sim, cluster, _, region = make_rig()
+        endpoints = [
+            cluster.connect(cluster.machines[m], cluster.server)[0] for m in (2, 3)
+        ]
+        winners = []
+
+        def contender(sim, endpoint, tag):
+            original = yield endpoint.post_atomic_cas(region, 0, expected=0, swap=tag)
+            if original == 0:
+                winners.append(tag)
+
+        sim.process(contender(sim, endpoints[0], 11))
+        sim.process(contender(sim, endpoints[1], 22))
+        sim.run()
+        assert len(winners) == 1
+        assert int.from_bytes(region.read_local(0, 8), "little") == winners[0]
+
+    def test_alignment_enforced(self):
+        sim, _, endpoint, region = make_rig()
+        with pytest.raises(TransportError):
+            endpoint.post_atomic_cas(region, 4, expected=0, swap=1)
+
+    def test_rc_required(self):
+        sim, _, endpoint, region = make_rig(QPType.UC)
+        with pytest.raises(TransportError):
+            endpoint.post_atomic_cas(region, 0, expected=0, swap=1)
+
+    def test_atomic_costs_a_round_trip(self):
+        sim, _, endpoint, region = make_rig()
+
+        def body(sim):
+            yield endpoint.post_atomic_cas(region, 0, expected=0, swap=1)
+            return sim.now
+
+        proc = sim.process(body(sim))
+        sim.run()
+        assert 1.0 < proc.value < 2.5  # read-like latency
+
+
+class TestFetchAndAdd:
+    def test_adds_and_returns_original(self):
+        sim, _, endpoint, region = make_rig()
+        region.write_local(8, (100).to_bytes(8, "little"))
+
+        def body(sim):
+            return (yield endpoint.post_atomic_faa(region, 8, delta=5))
+
+        proc = sim.process(body(sim))
+        sim.run()
+        assert proc.value == 100
+        assert int.from_bytes(region.read_local(8, 8), "little") == 105
+
+    def test_concurrent_faa_all_counted(self):
+        sim, cluster, _, region = make_rig()
+        endpoints = [
+            cluster.connect(cluster.machines[m % 7 + 1], cluster.server)[0]
+            for m in range(5)
+        ]
+
+        def incrementer(sim, endpoint):
+            for _ in range(10):
+                yield endpoint.post_atomic_faa(region, 0, delta=1)
+
+        for endpoint in endpoints:
+            sim.process(incrementer(sim, endpoint))
+        sim.run()
+        assert int.from_bytes(region.read_local(0, 8), "little") == 50
+
+    def test_wraps_at_64_bits(self):
+        sim, _, endpoint, region = make_rig()
+        region.write_local(0, (2**64 - 1).to_bytes(8, "little"))
+
+        def body(sim):
+            return (yield endpoint.post_atomic_faa(region, 0, delta=2))
+
+        proc = sim.process(body(sim))
+        sim.run()
+        assert proc.value == 2**64 - 1
+        assert int.from_bytes(region.read_local(0, 8), "little") == 1

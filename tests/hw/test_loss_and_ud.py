@@ -1,0 +1,157 @@
+"""Tests for unreliable-transport loss injection and the UD send model."""
+
+import pytest
+
+from repro.errors import TransportError
+from repro.hw import CLUSTER_EUROSYS17, CONNECTX3, QPType, build_cluster
+from repro.sim import Simulator
+
+
+def make_cluster():
+    sim = Simulator()
+    return sim, build_cluster(sim, CLUSTER_EUROSYS17)
+
+
+class TestLossInjection:
+    def test_rc_never_drops(self):
+        sim, cluster = make_cluster()
+        a, b = cluster.connect(
+            cluster.machines[1], cluster.server, QPType.RC, loss_probability=0.9
+        )
+        received = []
+
+        def server(sim):
+            for _ in range(50):
+                received.append((yield b.recv()))
+
+        def client(sim):
+            for i in range(50):
+                yield a.post_send(bytes([i]))
+
+        sim.process(server(sim))
+        sim.process(client(sim))
+        sim.run()
+        assert len(received) == 50
+        assert a.qp.messages_lost == 0
+
+    @pytest.mark.parametrize("qp_type", [QPType.UC, QPType.UD])
+    def test_unreliable_messages_vanish_silently(self, qp_type):
+        sim, cluster = make_cluster()
+        a, b = cluster.connect(
+            cluster.machines[1],
+            cluster.server,
+            qp_type,
+            loss_probability=0.5,
+            loss_seed=3,
+        )
+        sent = 200
+        completions = []
+
+        def client(sim):
+            for i in range(sent):
+                done = yield a.post_send(bytes([i % 256]))
+                completions.append(done)
+
+        sim.process(client(sim))
+        sim.run()
+        # Every send completed from the sender's perspective...
+        assert len(completions) == sent
+        # ...but roughly half never arrived.
+        lost = a.qp.messages_lost
+        assert 60 <= lost <= 140
+        assert b.pending_messages == sent - lost
+
+    def test_uc_write_loss_leaves_remote_memory_unchanged(self):
+        sim, cluster = make_cluster()
+        a, _ = cluster.connect(
+            cluster.machines[1],
+            cluster.server,
+            QPType.UC,
+            loss_probability=0.999999,  # effectively always dropped
+            loss_seed=1,
+        )
+        local = cluster.machines[1].register_memory(16)
+        remote = cluster.server.register_memory(16)
+        local.write_local(0, b"payload-16-bytes")
+        fired = {"delivered": False}
+
+        def body(sim):
+            yield a.post_write(
+                local, 0, remote, 0, 16,
+                on_delivery=lambda: fired.__setitem__("delivered", True),
+            )
+
+        sim.process(body(sim))
+        sim.run()
+        assert remote.read_local(0, 16) == bytes(16)
+        assert not fired["delivered"]
+        assert a.qp.messages_lost == 1
+
+    def test_loss_probability_validated(self):
+        sim, cluster = make_cluster()
+        with pytest.raises(TransportError):
+            cluster.connect(
+                cluster.machines[1], cluster.server, QPType.UD, loss_probability=1.0
+            )
+
+    def test_loss_is_deterministic_per_seed(self):
+        def run(seed):
+            sim, cluster = make_cluster()
+            a, _ = cluster.connect(
+                cluster.machines[1],
+                cluster.server,
+                QPType.UD,
+                loss_probability=0.3,
+                loss_seed=seed,
+            )
+
+            def client(sim):
+                for i in range(100):
+                    yield a.post_send(b"x")
+
+            sim.process(client(sim))
+            sim.run()
+            return a.qp.messages_lost
+
+        assert run(7) == run(7)
+
+
+class TestUdSendModel:
+    def test_ud_sends_issue_cheaper_than_rc_writes(self):
+        sim, cluster = make_cluster()
+        rnic = cluster.server.rnic
+        assert rnic.outbound_service_us(32, kind="ud_send") < rnic.outbound_service_us(
+            32, kind="write"
+        )
+        expected = CONNECTX3.ud_send_scale
+        ratio = rnic.outbound_service_us(1, "ud_send") / rnic.outbound_service_us(
+            1, "write"
+        )
+        assert ratio == pytest.approx(expected, rel=0.01)
+
+    def test_ud_send_rate_beats_rc_write_rate(self):
+        """A UD-send loop out-issues an RC-write loop (HERD's edge)."""
+
+        def sends_per_window(qp_type):
+            sim, cluster = make_cluster()
+            a, _ = cluster.connect(cluster.machines[1], cluster.server, qp_type)
+            count = [0]
+
+            def client(sim):
+                while True:
+                    yield sim.timeout(CONNECTX3.post_cpu_us)
+                    yield a.post_send(bytes(32))
+                    count[0] += 1
+
+            sim.process(client(sim))
+            sim.run(until=500.0)
+            return count[0]
+
+        assert sends_per_window(QPType.UD) > 1.5 * sends_per_window(QPType.RC)
+
+    def test_large_ud_sends_still_bandwidth_bound(self):
+        sim, cluster = make_cluster()
+        rnic = cluster.server.rnic
+        ud = rnic.outbound_service_us(8192, "ud_send")
+        rc = rnic.outbound_service_us(8192, "write")
+        assert ud == pytest.approx(rc, rel=0.05)

@@ -1,0 +1,103 @@
+"""Unit tests for registered memory regions and staged (torn) writes."""
+
+import pytest
+
+from repro.errors import RegistrationError
+from repro.hw import CLUSTER_EUROSYS17, build_cluster
+from repro.hw.memory import staged_write
+from repro.sim import Simulator
+
+
+@pytest.fixture()
+def machine():
+    sim = Simulator()
+    cluster = build_cluster(sim, CLUSTER_EUROSYS17)
+    return sim, cluster.server
+
+
+class TestMemoryRegion:
+    def test_round_trip(self, machine):
+        _, m = machine
+        region = m.register_memory(64)
+        region.write_local(8, b"hello")
+        assert region.read_local(8, 5) == b"hello"
+
+    def test_starts_zeroed(self, machine):
+        _, m = machine
+        region = m.register_memory(16)
+        assert region.read_local(0, 16) == bytes(16)
+
+    def test_bounds_checked(self, machine):
+        _, m = machine
+        region = m.register_memory(16)
+        with pytest.raises(RegistrationError):
+            region.read_local(10, 7)
+        with pytest.raises(RegistrationError):
+            region.write_local(15, b"ab")
+        with pytest.raises(RegistrationError):
+            region.read_local(-1, 4)
+
+    def test_zero_size_rejected(self, machine):
+        _, m = machine
+        with pytest.raises(RegistrationError):
+            m.register_memory(0)
+
+    def test_deregistered_region_rejects_access(self, machine):
+        _, m = machine
+        region = m.register_memory(16)
+        m.release_memory(region)
+        assert not region.registered
+        with pytest.raises(RegistrationError):
+            region.read_local(0, 1)
+
+    def test_release_foreign_region_rejected(self, machine):
+        sim, m = machine
+        other_sim = Simulator()
+        other = build_cluster(other_sim, CLUSTER_EUROSYS17).server
+        region = other.register_memory(16)
+        with pytest.raises(RegistrationError):
+            m.release_memory(region)
+
+    def test_fill(self, machine):
+        _, m = machine
+        region = m.register_memory(8)
+        region.fill(2, 4, 0xFF)
+        assert region.read_local(0, 8) == b"\x00\x00\xff\xff\xff\xff\x00\x00"
+
+    def test_registered_bytes_accounting(self, machine):
+        _, m = machine
+        a = m.register_memory(100)
+        m.register_memory(50)
+        assert m.registered_bytes() == 150
+        m.release_memory(a)
+        assert m.registered_bytes() == 50
+
+    def test_memory_budget_enforced(self, machine):
+        _, m = machine
+        with pytest.raises(RegistrationError):
+            m.register_memory(m.spec.memory_gb * (1 << 30) + 1)
+
+
+class TestStagedWrite:
+    def test_final_state_is_full_payload(self, machine):
+        sim, m = machine
+        region = m.register_memory(32)
+        sim.process(staged_write(sim, region, 0, b"ABCDEFGH", duration=1.0))
+        sim.run()
+        assert region.read_local(0, 8) == b"ABCDEFGH"
+
+    def test_mid_write_state_is_torn(self, machine):
+        sim, m = machine
+        region = m.register_memory(32)
+        region.write_local(0, b"oldoldol")
+        sim.process(staged_write(sim, region, 0, b"NEWNEWNE", duration=2.0))
+        observed = {}
+
+        def peek():
+            observed["mid"] = region.read_local(0, 8)
+
+        sim.schedule(1.0, peek)
+        sim.run()
+        # First half new, second half still old: a torn read.
+        assert observed["mid"] == b"NEWNldol"
+        assert region.read_local(0, 8) == b"NEWNEWNE"

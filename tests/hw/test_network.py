@@ -1,0 +1,27 @@
+"""Unit tests for the switch/propagation model."""
+
+import pytest
+
+from repro.errors import HardwareModelError
+from repro.hw import Network
+
+
+class TestNetwork:
+    def test_two_hops_between_distinct_machines(self):
+        network = Network(switch_hop_us=0.1)
+        assert network.propagation_us("m0", "m1") == pytest.approx(0.2)
+
+    def test_loopback_is_free(self):
+        network = Network(switch_hop_us=0.1)
+        assert network.propagation_us("m3", "m3") == 0.0
+
+    def test_symmetric(self):
+        network = Network(switch_hop_us=0.25)
+        assert network.propagation_us("a", "b") == network.propagation_us("b", "a")
+
+    def test_negative_hop_rejected(self):
+        with pytest.raises(HardwareModelError):
+            Network(switch_hop_us=-0.1)
+
+    def test_zero_latency_fabric_allowed(self):
+        assert Network(switch_hop_us=0.0).propagation_us("a", "b") == 0.0

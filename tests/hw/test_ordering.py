@@ -1,0 +1,116 @@
+"""Tests for the delivery-ordering guarantees the RFP protocol needs.
+
+RFP's mode-flag correctness (no duplicate/unnecessary replies) rests on
+RC's in-order delivery: two writes posted back to back on the same QP
+land at the server in posting order.  These tests pin that property of
+the model down explicitly.
+"""
+
+import pytest
+
+from repro.hw import CLUSTER_EUROSYS17, build_cluster
+from repro.sim import Simulator
+
+
+def make_rig():
+    sim = Simulator()
+    cluster = build_cluster(sim, CLUSTER_EUROSYS17)
+    client_ep, server_ep = cluster.connect(cluster.machines[1], cluster.server)
+    return sim, cluster, client_ep, server_ep
+
+
+class TestSameQpOrdering:
+    def test_back_to_back_writes_deliver_in_post_order(self):
+        sim, cluster, client_ep, _ = make_rig()
+        local = cluster.machines[1].register_memory(64)
+        remote = cluster.server.register_memory(64)
+        deliveries = []
+
+        def body(sim):
+            # Post both without waiting (the flag write + next request
+            # pattern): delivery order must match posting order.
+            local.write_local(0, b"first---")
+            first = client_ep.post_write(
+                local, 0, remote, 0, 8, on_delivery=lambda: deliveries.append("first")
+            )
+            local.write_local(8, b"second--")
+            second = client_ep.post_write(
+                local, 8, remote, 8, 8, on_delivery=lambda: deliveries.append("second")
+            )
+            yield first
+            yield second
+
+        sim.process(body(sim))
+        sim.run()
+        assert deliveries == ["first", "second"]
+
+    def test_many_pipelined_writes_stay_ordered(self):
+        sim, cluster, client_ep, _ = make_rig()
+        local = cluster.machines[1].register_memory(256)
+        remote = cluster.server.register_memory(256)
+        deliveries = []
+        completions = []
+
+        def body(sim):
+            events = []
+            for index in range(20):
+                events.append(
+                    client_ep.post_write(
+                        local,
+                        index,
+                        remote,
+                        index,
+                        1,
+                        on_delivery=lambda i=index: deliveries.append(i),
+                    )
+                )
+            for event in events:
+                value = yield event
+                completions.append(value)
+
+        sim.process(body(sim))
+        sim.run()
+        assert deliveries == list(range(20))
+        assert len(completions) == 20
+
+    def test_flag_then_request_pattern(self):
+        """The exact switch-back race: a 1-byte flag write posted before
+        the next request write must be seen first by the server."""
+        sim, cluster, client_ep, _ = make_rig()
+        local = cluster.machines[1].register_memory(128)
+        flag_region = cluster.server.register_memory(8)
+        request_region = cluster.server.register_memory(64)
+        order = []
+
+        def body(sim):
+            local.write_local(0, b"\x00")
+            flag_done = client_ep.post_write(
+                local, 0, flag_region, 0, 1, on_delivery=lambda: order.append("flag")
+            )
+            yield flag_done
+            local.write_local(1, b"request!")
+            yield client_ep.post_write(
+                local, 1, request_region, 0, 8,
+                on_delivery=lambda: order.append("request"),
+            )
+
+        sim.process(body(sim))
+        sim.run()
+        assert order == ["flag", "request"]
+
+    def test_send_stream_ordered_with_writes_in_flight(self):
+        sim, cluster, client_ep, server_ep = make_rig()
+        received = []
+
+        def server(sim):
+            for _ in range(10):
+                received.append((yield server_ep.recv()))
+
+        def client(sim):
+            for i in range(10):
+                yield client_ep.post_send(bytes([i]))
+
+        sim.process(server(sim))
+        sim.process(client(sim))
+        sim.run()
+        assert received == [bytes([i]) for i in range(10)]

@@ -1,0 +1,68 @@
+"""Unit tests for hardware specs and presets."""
+
+import pytest
+
+from repro.errors import HardwareModelError
+from repro.hw import CLUSTER_EUROSYS17, CONNECTX2, CONNECTX3, CONNECTX4
+from repro.hw.specs import ClusterSpec, MachineSpec, NicSpec
+
+
+class TestNicSpec:
+    def test_connectx3_matches_paper_constants(self):
+        assert CONNECTX3.inbound_peak_mops == pytest.approx(11.26)
+        assert CONNECTX3.outbound_peak_mops == pytest.approx(2.11)
+        assert CONNECTX3.bandwidth_gbps == 40.0
+
+    def test_asymmetry_ratio_about_five(self):
+        ratio = CONNECTX3.inbound_peak_mops / CONNECTX3.outbound_peak_mops
+        assert 4.5 < ratio < 6.0
+
+    def test_asymmetry_on_all_generations(self):
+        for spec in (CONNECTX2, CONNECTX3, CONNECTX4):
+            assert spec.inbound_peak_mops > 2 * spec.outbound_peak_mops
+
+    def test_base_times_are_reciprocal_rates(self):
+        assert CONNECTX3.inbound_base_us == pytest.approx(1 / 11.26)
+        assert CONNECTX3.outbound_base_us == pytest.approx(1 / 2.11)
+
+    def test_effective_bandwidth(self):
+        # 40 Gbps == 5000 B/us raw.
+        raw = 40.0 * 125.0
+        assert CONNECTX3.effective_bandwidth_bytes_per_us == pytest.approx(
+            raw * CONNECTX3.bandwidth_efficiency
+        )
+
+    def test_scaled_changes_only_bandwidth(self):
+        scaled = CONNECTX3.scaled(20.0, name="half")
+        assert scaled.bandwidth_gbps == 20.0
+        assert scaled.name == "half"
+        assert scaled.inbound_peak_mops == CONNECTX3.inbound_peak_mops
+
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(HardwareModelError):
+            NicSpec("bad", bandwidth_gbps=0, inbound_peak_mops=1, outbound_peak_mops=1)
+        with pytest.raises(HardwareModelError):
+            NicSpec("bad", bandwidth_gbps=40, inbound_peak_mops=-1, outbound_peak_mops=1)
+        with pytest.raises(HardwareModelError):
+            # Inverted asymmetry contradicts the model's core assumption.
+            NicSpec("bad", bandwidth_gbps=40, inbound_peak_mops=1, outbound_peak_mops=2)
+
+
+class TestMachineAndClusterSpecs:
+    def test_paper_testbed_shape(self):
+        assert CLUSTER_EUROSYS17.machines == 8
+        assert CLUSTER_EUROSYS17.machine.cores == 16
+        assert CLUSTER_EUROSYS17.machine.memory_gb == 96
+        assert CLUSTER_EUROSYS17.machine.nic is CONNECTX3
+
+    def test_core_count_validated(self):
+        with pytest.raises(HardwareModelError):
+            MachineSpec(nic=CONNECTX3, cores=0)
+
+    def test_cluster_needs_two_machines(self):
+        with pytest.raises(HardwareModelError):
+            ClusterSpec(machine=MachineSpec(nic=CONNECTX3), machines=1)
+
+    def test_negative_switch_latency_rejected(self):
+        with pytest.raises(HardwareModelError):
+            ClusterSpec(machine=MachineSpec(nic=CONNECTX3), switch_hop_us=-0.1)

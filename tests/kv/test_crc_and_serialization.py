@@ -1,0 +1,82 @@
+"""Unit tests for CRC64 and the KV wire format."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.kv import (
+    crc64,
+    pack_get_request,
+    pack_put_request,
+    unpack_get_request,
+    unpack_put_request,
+)
+
+
+class TestCrc64:
+    def test_known_vector(self):
+        # CRC-64/XZ check value for "123456789".
+        assert crc64(b"123456789") == 0x995DC9BBDF1939FA
+
+    def test_empty_input(self):
+        assert crc64(b"") == 0
+
+    def test_deterministic(self):
+        assert crc64(b"jakiro") == crc64(b"jakiro")
+
+    def test_sensitive_to_any_byte_flip(self):
+        base = bytearray(b"some-kv-record-payload")
+        reference = crc64(bytes(base))
+        for index in range(len(base)):
+            flipped = bytearray(base)
+            flipped[index] ^= 0x01
+            assert crc64(bytes(flipped)) != reference
+
+    def test_detects_torn_write(self):
+        """The Pilaf race: half-old, half-new bytes fail the checksum."""
+        old = b"A" * 16
+        new = b"B" * 16
+        torn = new[:8] + old[8:]
+        assert crc64(torn) != crc64(new)
+        assert crc64(torn) != crc64(old)
+
+    def test_64_bit_range(self):
+        value = crc64(b"range-check")
+        assert 0 <= value < 2**64
+
+
+class TestKvSerialization:
+    def test_get_round_trip(self):
+        packed = pack_get_request(b"user:42")
+        assert unpack_get_request(packed) == b"user:42"
+
+    def test_put_round_trip(self):
+        packed = pack_put_request(b"k", b"v" * 100)
+        assert unpack_put_request(packed) == (b"k", b"v" * 100)
+
+    def test_put_with_empty_value(self):
+        assert unpack_put_request(pack_put_request(b"k", b"")) == (b"k", b"")
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(ProtocolError):
+            pack_get_request(b"")
+
+    def test_oversized_key_rejected(self):
+        with pytest.raises(ProtocolError):
+            pack_get_request(b"x" * 70000)
+
+    def test_runt_request_rejected(self):
+        with pytest.raises(ProtocolError):
+            unpack_get_request(b"\x05")
+
+    def test_truncated_key_rejected(self):
+        with pytest.raises(ProtocolError):
+            unpack_get_request(b"\x08\x00abc")
+
+    def test_get_with_trailing_garbage_rejected(self):
+        with pytest.raises(ProtocolError):
+            unpack_get_request(pack_get_request(b"ok") + b"!")
+
+    def test_binary_keys_and_values(self):
+        key = bytes(range(256))[:200]
+        value = bytes(reversed(range(256))) * 4
+        assert unpack_put_request(pack_put_request(key, value)) == (key, value)

@@ -1,0 +1,84 @@
+"""Unit tests for the Hopscotch-style table (FaRM's lookup structure)."""
+
+import pytest
+
+from repro.errors import KVError
+from repro.kv import HopscotchTable
+
+
+class TestHopscotchBasics:
+    def test_insert_lookup(self):
+        table = HopscotchTable(capacity=64, neighborhood=8)
+        table.insert(b"a", 1)
+        assert table.lookup(b"a") == 1
+
+    def test_missing_key(self):
+        table = HopscotchTable(capacity=64)
+        assert table.lookup(b"nope") is None
+
+    def test_update(self):
+        table = HopscotchTable(capacity=64)
+        table.insert(b"k", "v1")
+        table.insert(b"k", "v2")
+        assert table.lookup(b"k") == "v2"
+        assert len(table) == 1
+
+    def test_delete(self):
+        table = HopscotchTable(capacity=64)
+        table.insert(b"k", 1)
+        assert table.delete(b"k")
+        assert not table.delete(b"k")
+        assert len(table) == 0
+
+    def test_validation(self):
+        with pytest.raises(KVError):
+            HopscotchTable(capacity=4, neighborhood=8)
+        with pytest.raises(KVError):
+            HopscotchTable(capacity=64, neighborhood=0)
+
+
+class TestNeighborhoodInvariant:
+    def test_every_key_within_neighborhood_of_home(self):
+        """The invariant FaRM's single-read lookup depends on."""
+        table = HopscotchTable(capacity=1024, neighborhood=8)
+        keys = [f"key-{i}".encode() for i in range(700)]
+        for i, key in enumerate(keys):
+            table.insert(key, i)
+        for key in keys:
+            slots = table.neighborhood_slots(key)
+            assert any(
+                table.slot(s) is not None and table.slot(s)[0] == key for s in slots
+            )
+
+    def test_neighborhood_slots_are_contiguous(self):
+        table = HopscotchTable(capacity=128, neighborhood=8)
+        slots = table.neighborhood_slots(b"k")
+        for a, b in zip(slots, slots[1:]):
+            assert b == (a + 1) % 128
+
+    def test_lookup_never_scans_past_neighborhood(self):
+        """A key outside its neighborhood is unreachable by design, so a
+        reader fetching N slots sees everything it can ever need."""
+        table = HopscotchTable(capacity=256, neighborhood=4)
+        for i in range(150):
+            table.insert(f"k{i}".encode(), i)
+        for i in range(150):
+            assert table.lookup(f"k{i}".encode()) == i
+
+    def test_dense_table_raises_rather_than_violating_invariant(self):
+        table = HopscotchTable(capacity=16, neighborhood=2)
+        with pytest.raises(KVError):
+            for i in range(16):
+                table.insert(f"k{i}".encode(), i)
+
+    def test_wraparound_near_table_end(self):
+        table = HopscotchTable(capacity=32, neighborhood=8)
+        # Find a key homed in the last few slots so its window wraps.
+        for i in range(5000):
+            key = f"wrap-{i}".encode()
+            if table.home(key) >= 28:
+                table.insert(key, i)
+                assert table.lookup(key) == i
+                break
+        else:
+            pytest.fail("no wrapping key found")

@@ -1,0 +1,118 @@
+"""Tests for the server-reply paradigm."""
+
+import pytest
+
+from repro.core import Mode, RfpClient, RfpConfig, RfpServer
+from repro.hw import CLUSTER_EUROSYS17, build_cluster
+from repro.paradigms import ServerReplyClient, ServerReplyServer
+from repro.sim import Simulator, ThroughputMeter
+
+
+def echo(payload, ctx):
+    return payload, 0.2
+
+
+def make_rig(threads=6, client_count=1, handler=echo):
+    sim = Simulator()
+    cluster = build_cluster(sim, CLUSTER_EUROSYS17)
+    server = ServerReplyServer(sim, cluster, cluster.server, handler, threads)
+    clients = [
+        ServerReplyClient(sim, cluster.client_machines[i % 7], server)
+        for i in range(client_count)
+    ]
+    return sim, cluster, server, clients
+
+
+class TestServerReplyBasics:
+    def test_round_trip(self):
+        sim, _, _, (client,) = make_rig()
+
+        def body(sim):
+            return (yield from client.call(b"ping"))
+
+        proc = sim.process(body(sim))
+        sim.run()
+        assert proc.value == b"ping"
+
+    def test_every_response_is_pushed(self):
+        sim, _, server, (client,) = make_rig()
+
+        def body(sim):
+            for i in range(25):
+                yield from client.call(f"m{i}".encode())
+
+        sim.process(body(sim))
+        sim.run()
+        assert server.stats.replies_sent.value == 25
+        # The client never fetched anything.
+        assert client.stats.remote_reads.value == 0
+
+    def test_mode_never_leaves_server_reply(self):
+        sim, _, _, (client,) = make_rig(handler=lambda p, c: (p, 0.0))
+
+        def body(sim):
+            for _ in range(20):
+                yield from client.call(b"fast")
+
+        sim.process(body(sim))
+        sim.run()
+        # Even with a fast server, server-reply never switches.
+        assert client.mode is Mode.SERVER_REPLY
+        assert client.policy.switches_to_fetch == 0
+
+    def test_many_clients(self):
+        sim, _, _, clients = make_rig(client_count=10)
+        results = []
+
+        def body(sim, client, tag):
+            response = yield from client.call(tag)
+            results.append(response)
+
+        for i, client in enumerate(clients):
+            sim.process(body(sim, client, f"t{i}".encode()))
+        sim.run()
+        assert sorted(results) == sorted(f"t{i}".encode() for i in range(10))
+
+
+def measure_peak(system, server_threads, client_threads, window=4000.0):
+    """Closed-loop peak throughput for one of the two paradigms."""
+    sim = Simulator()
+    cluster = build_cluster(sim, CLUSTER_EUROSYS17)
+    handler = lambda p, c: (bytes(32), 0.2)
+    if system == "reply":
+        server = ServerReplyServer(sim, cluster, cluster.server, handler, server_threads)
+        client_cls = ServerReplyClient
+    else:
+        server = RfpServer(sim, cluster, cluster.server, handler, server_threads)
+        client_cls = RfpClient
+    meter = ThroughputMeter(window_start=window * 0.25, window_end=window)
+
+    def loop(sim, client):
+        while True:
+            yield from client.call(bytes(16))
+            meter.record(sim.now)
+
+    for i in range(client_threads):
+        client = client_cls(sim, cluster.client_machines[i % 7], server)
+        sim.process(loop(sim, client))
+    sim.run(until=window)
+    return meter.mops(elapsed=window * 0.75)
+
+
+class TestServerReplyThroughputCeiling:
+    def test_capped_by_outbound_pipeline(self):
+        """§2.2: server-reply peaks at ~2.1 MOPS, the out-bound limit."""
+        mops = measure_peak("reply", server_threads=6, client_threads=35)
+        assert mops == pytest.approx(2.1, rel=0.15)
+
+    def test_rfp_beats_server_reply_for_small_values(self):
+        """The headline claim at small payloads: RFP >> server-reply."""
+        reply = measure_peak("reply", server_threads=6, client_threads=35)
+        rfp = measure_peak("rfp", server_threads=6, client_threads=35)
+        assert rfp > 2.0 * reply
+
+    def test_excess_server_threads_hurt_server_reply(self):
+        """Fig. 12: out-bound issue contention degrades >6 threads."""
+        at_6 = measure_peak("reply", server_threads=6, client_threads=35)
+        at_16 = measure_peak("reply", server_threads=16, client_threads=35)
+        assert at_16 < at_6

@@ -1,0 +1,72 @@
+"""Property-based tests for the closed-form performance models."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    predict_inbound_peak,
+    predict_outbound_peak,
+    predict_rfp_throughput,
+    predict_server_bypass_throughput,
+    predict_server_reply_throughput,
+)
+from repro.hw import CONNECTX3
+
+process_times = st.floats(min_value=0.0, max_value=50.0, allow_nan=False)
+thread_counts = st.integers(min_value=1, max_value=16)
+client_counts = st.integers(min_value=1, max_value=70)
+payloads = st.integers(min_value=0, max_value=8192)
+
+
+class TestModelProperties:
+    @given(process_times, thread_counts, client_counts)
+    def test_prediction_is_min_of_candidates(self, process, threads, clients):
+        for predictor in (predict_rfp_throughput, predict_server_reply_throughput):
+            prediction = predictor(CONNECTX3, threads, clients, process)
+            assert prediction.mops == min(prediction.candidates.values())
+            assert prediction.candidates[prediction.bottleneck] == prediction.mops
+            assert prediction.mops > 0
+
+    @given(thread_counts, client_counts, st.floats(min_value=0.0, max_value=20.0))
+    def test_rfp_never_predicted_below_server_reply_with_margin(
+        self, threads, clients, process
+    ):
+        """RFP's candidate set strictly dominates server-reply's network
+        bottleneck, so it can only lose through shared bottlenecks (CPU,
+        clients) — never by more than the shared candidate's value."""
+        rfp = predict_rfp_throughput(CONNECTX3, threads, clients, process)
+        reply = predict_server_reply_throughput(CONNECTX3, threads, clients, process)
+        assert rfp.mops >= 0.80 * reply.mops
+
+    @given(process_times)
+    def test_throughput_monotone_in_process_time(self, process):
+        faster = predict_rfp_throughput(CONNECTX3, 8, 35, process)
+        slower = predict_rfp_throughput(CONNECTX3, 8, 35, process + 1.0)
+        assert slower.mops <= faster.mops + 1e-9
+
+    @given(payloads)
+    def test_inbound_peak_monotone_in_size(self, size):
+        assert predict_inbound_peak(CONNECTX3, size) >= predict_inbound_peak(
+            CONNECTX3, size + 64
+        )
+
+    @given(st.integers(min_value=1, max_value=20))
+    def test_bypass_monotone_in_amplification(self, k):
+        a = predict_server_bypass_throughput(CONNECTX3, k, 21)
+        b = predict_server_bypass_throughput(CONNECTX3, k + 1, 21)
+        assert b.mops < a.mops
+
+    @given(thread_counts)
+    def test_outbound_peak_monotone_in_threads(self, threads):
+        now = predict_outbound_peak(CONNECTX3, 32, issuing_threads=threads)
+        more = predict_outbound_peak(CONNECTX3, 32, issuing_threads=threads + 1)
+        assert more <= now + 1e-12
+
+    @given(client_counts)
+    def test_client_bound_scales_linearly_when_binding(self, clients):
+        prediction = predict_rfp_throughput(CONNECTX3, 16, clients, 0.2)
+        candidate = prediction.candidates["closed-loop-clients"]
+        reference = predict_rfp_throughput(CONNECTX3, 16, 1, 0.2).candidates[
+            "closed-loop-clients"
+        ]
+        assert abs(candidate - clients * reference) / candidate < 1e-6

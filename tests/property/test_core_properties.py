@@ -1,0 +1,92 @@
+"""Property-based tests for RFP headers, fetch planning, and parameters."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import (
+    RESPONSE_HEADER_BYTES,
+    RequestHeader,
+    ResponseHeader,
+    plan_fetch,
+    reads_required,
+    select_parameters,
+)
+from repro.core.params import fetch_size_grid
+
+
+class TestHeaderProperties:
+    @given(st.integers(0, 1), st.integers(0, 2**31 - 1))
+    def test_request_header_round_trip(self, status, size):
+        header = RequestHeader(status=status, size=size)
+        assert RequestHeader.unpack(header.pack()) == header
+
+    @given(st.integers(0, 1), st.integers(0, 2**31 - 1), st.integers(0, 0xFFFF))
+    def test_response_header_round_trip(self, status, size, time_tenths):
+        header = ResponseHeader(status=status, size=size, time_tenths_us=time_tenths)
+        assert ResponseHeader.unpack(header.pack()) == header
+
+    @given(st.floats(min_value=0.0, max_value=1e9, allow_nan=False))
+    def test_encode_time_saturates_and_stays_nonnegative(self, time_us):
+        encoded = ResponseHeader.encode_time(time_us)
+        assert 0 <= encoded <= 0xFFFF
+        # Within representable range the decode error is at most 0.05 us.
+        if time_us <= 6553.5:
+            assert abs(encoded / 10.0 - time_us) <= 0.05 + 1e-9
+
+
+class TestFetchPlanProperties:
+    sizes = st.integers(min_value=0, max_value=1 << 20)
+    fetches = st.integers(min_value=RESPONSE_HEADER_BYTES + 1, max_value=4096)
+
+    @given(sizes, fetches)
+    def test_plan_tiles_the_response_exactly(self, total, fetch):
+        plan = plan_fetch(total, fetch)
+        assert plan.first_covers + plan.remainder_bytes == total
+        assert plan.first_covers >= 0
+        assert plan.remainder_bytes >= 0
+
+    @given(sizes, fetches)
+    def test_remainder_starts_right_after_first_read(self, total, fetch):
+        plan = plan_fetch(total, fetch)
+        if plan.remainder_bytes:
+            assert plan.remainder_offset == RESPONSE_HEADER_BYTES + plan.first_covers
+
+    @given(sizes, fetches)
+    def test_reads_required_consistent_with_plan(self, total, fetch):
+        plan = plan_fetch(total, fetch)
+        expected = 1 if plan.remainder_bytes == 0 else 2
+        assert reads_required(total, fetch) == expected
+
+    @given(sizes, fetches)
+    def test_one_read_iff_covered(self, total, fetch):
+        covered = total <= fetch - RESPONSE_HEADER_BYTES
+        assert (reads_required(total, fetch) == 1) == covered
+
+
+class TestParameterSelectionProperties:
+    @given(
+        st.lists(st.integers(0, 4096), min_size=1, max_size=50),
+        st.integers(1, 8),
+    )
+    def test_selection_stays_inside_the_bounds(self, sizes, retry_upper):
+        choice = select_parameters(
+            sizes,
+            lambda r, f: 10.0 / (1 + f / 1024.0),
+            retry_upper,
+            256,
+            1024,
+            size_step=128,
+        )
+        assert 1 <= choice.retry_bound <= retry_upper
+        assert 256 <= choice.fetch_size <= 1024
+        assert choice.expected_mops > 0
+        # The chosen pair really is a maximiser of the scored table.
+        assert choice.expected_mops == max(choice.scores.values())
+
+    @given(st.integers(16, 2048), st.integers(1, 512))
+    def test_grid_is_sorted_unique_and_covers_bounds(self, lower, step):
+        upper = lower + 777
+        grid = fetch_size_grid(lower, upper, step)
+        assert grid[0] == lower
+        assert grid[-1] == upper
+        assert grid == sorted(set(grid))

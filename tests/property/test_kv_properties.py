@@ -1,0 +1,164 @@
+"""Property-based tests for the KV data structures."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kv import (
+    CuckooHashTable,
+    HopscotchTable,
+    JakiroStore,
+    crc64,
+    pack_get_request,
+    pack_put_request,
+    unpack_get_request,
+    unpack_put_request,
+)
+from repro.kv.store import SLOTS_PER_BUCKET, partition_of
+
+keys = st.binary(min_size=1, max_size=64)
+values = st.binary(min_size=0, max_size=256)
+
+
+class TestSerializationProperties:
+    @given(keys)
+    def test_get_round_trip(self, key):
+        assert unpack_get_request(pack_get_request(key)) == key
+
+    @given(keys, values)
+    def test_put_round_trip(self, key, value):
+        assert unpack_put_request(pack_put_request(key, value)) == (key, value)
+
+
+class TestCrcProperties:
+    @given(st.binary(max_size=512))
+    def test_deterministic_and_64_bit(self, data):
+        digest = crc64(data)
+        assert digest == crc64(data)
+        assert 0 <= digest < 2**64
+
+    @given(st.binary(min_size=1, max_size=256), st.integers(0, 255))
+    def test_single_byte_flip_always_detected(self, data, position_seed):
+        """CRC64 detects every single-bit/byte corruption."""
+        position = position_seed % len(data)
+        corrupted = bytearray(data)
+        corrupted[position] ^= 0xA5
+        if bytes(corrupted) != data:
+            assert crc64(bytes(corrupted)) != crc64(data)
+
+
+class TestCuckooProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.tuples(keys, st.integers()), min_size=0, max_size=120))
+    def test_matches_dict_semantics(self, operations):
+        table = CuckooHashTable(capacity=512, seed=1)
+        model = {}
+        for key, value in operations:
+            table.insert(key, value)
+            model[key] = value
+        assert len(table) == len(model)
+        for key, value in model.items():
+            assert table.lookup(key)[0] == value
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(keys, min_size=0, max_size=120), st.lists(keys, max_size=40))
+    def test_delete_removes_exactly_the_key(self, inserted, deleted):
+        table = CuckooHashTable(capacity=512, seed=1)
+        model = {}
+        for key in inserted:
+            table.insert(key, len(key))
+            model[key] = len(key)
+        for key in deleted:
+            assert table.delete(key) == (key in model)
+            model.pop(key, None)
+        for key, value in model.items():
+            assert table.lookup(key)[0] == value
+
+    @given(keys, st.integers(4, 4096))
+    def test_candidates_distinct_and_in_range(self, key, capacity):
+        from repro.kv.cuckoo import cuckoo_candidates
+
+        candidates = cuckoo_candidates(key, capacity)
+        assert len(candidates) == 3
+        assert len(set(candidates)) == 3
+        assert all(0 <= c < capacity for c in candidates)
+
+    @given(keys)
+    def test_probe_count_between_one_and_three(self, key):
+        table = CuckooHashTable(capacity=128, seed=2)
+        table.insert(key, 0)
+        _, probes = table.lookup(key)
+        assert 1 <= probes <= 3
+
+
+class TestHopscotchProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.tuples(keys, st.integers()), min_size=0, max_size=150))
+    def test_matches_dict_and_keeps_neighborhood_invariant(self, operations):
+        table = HopscotchTable(capacity=1024, neighborhood=8)
+        model = {}
+        for key, value in operations:
+            table.insert(key, value)
+            model[key] = value
+        assert len(table) == len(model)
+        for key, value in model.items():
+            assert table.lookup(key) == value
+            slots = table.neighborhood_slots(key)
+            assert any(
+                table.slot(s) is not None and table.slot(s)[0] == key for s in slots
+            )
+
+
+class TestTraceProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.booleans(), keys, values),
+            max_size=60,
+        )
+    )
+    def test_trace_round_trip_any_operations(self, raw):
+        import io
+
+        from repro.workloads import Operation
+        from repro.workloads.traces import read_trace, write_trace
+
+        operations = [
+            Operation(is_get, key, None if is_get else value)
+            for is_get, key, value in raw
+        ]
+        buffer = io.BytesIO()
+        count = write_trace(operations, buffer)
+        assert count == len(operations)
+        buffer.seek(0)
+        assert list(read_trace(buffer)) == operations
+
+
+class TestJakiroStoreProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.tuples(keys, values), min_size=0, max_size=100))
+    def test_last_write_wins_when_no_eviction(self, pairs):
+        store = JakiroStore(partitions=3, buckets_per_partition=4096)
+        model = {}
+        for key, value in pairs:
+            store.put(partition_of(key, 3), key, value)
+            model[key] = value
+        # With this few keys over that many buckets, eviction is
+        # effectively impossible; every key must read back.
+        if store.counters.evictions.value == 0:
+            for key, value in model.items():
+                assert store.get(partition_of(key, 3), key)[0] == value
+            assert store.size() == len(model)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.tuples(keys, values), min_size=0, max_size=200))
+    def test_buckets_never_overflow(self, pairs):
+        store = JakiroStore(partitions=2, buckets_per_partition=4)
+        for key, value in pairs:
+            store.put(partition_of(key, 2), key, value)
+        for partition in store._buckets:
+            for bucket in partition:
+                assert len(bucket) <= SLOTS_PER_BUCKET
+
+    @given(keys, st.integers(1, 64))
+    def test_partition_of_in_range(self, key, partitions):
+        assert 0 <= partition_of(key, partitions) < partitions

@@ -1,0 +1,75 @@
+"""Property-based tests for the hybrid switch policy."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import Mode, RfpConfig, SwitchPolicy
+
+# An observation stream: slow/fast fetch calls and reply times.
+observations = st.lists(
+    st.one_of(
+        st.just("slow"),
+        st.just("fast"),
+        st.floats(min_value=0.0, max_value=20.0, allow_nan=False),
+    ),
+    max_size=200,
+)
+
+
+def run_policy(policy, stream):
+    """Feed observations, translating them to whatever the mode allows."""
+    transitions = 0
+    for item in stream:
+        if policy.mode is Mode.REMOTE_FETCH:
+            if item == "slow":
+                transitions += policy.note_slow_call()
+            elif item == "fast":
+                policy.note_fast_call()
+            # reply times are meaningless while fetching: skip
+        else:
+            if isinstance(item, float):
+                transitions += policy.note_reply_time(item)
+            # fetch outcomes are meaningless while replying: skip
+    return transitions
+
+
+class TestSwitchPolicyProperties:
+    @given(observations, st.integers(1, 5))
+    def test_mode_always_consistent_with_counters(self, stream, threshold):
+        policy = SwitchPolicy(RfpConfig(consecutive_slow_calls=threshold))
+        run_policy(policy, stream)
+        # The mode is fully determined by the switch counters.
+        if policy.switches_to_reply == policy.switches_to_fetch:
+            assert policy.mode is Mode.REMOTE_FETCH
+        else:
+            assert policy.switches_to_reply == policy.switches_to_fetch + 1
+            assert policy.mode is Mode.SERVER_REPLY
+
+    @given(observations)
+    def test_hybrid_disabled_never_moves(self, stream):
+        policy = SwitchPolicy(RfpConfig(hybrid_enabled=False))
+        run_policy(policy, stream)
+        assert policy.mode is Mode.REMOTE_FETCH
+        assert policy.switches_to_reply == 0
+
+    @given(st.integers(1, 6), st.integers(0, 30))
+    def test_switch_needs_exactly_threshold_consecutive_slow(self, threshold, extra):
+        policy = SwitchPolicy(RfpConfig(consecutive_slow_calls=threshold))
+        for i in range(threshold - 1):
+            assert policy.note_slow_call() is False
+        assert policy.note_slow_call() is True
+        assert policy.mode is Mode.SERVER_REPLY
+
+    @given(observations)
+    def test_slow_streak_never_exceeds_threshold(self, stream):
+        config = RfpConfig(consecutive_slow_calls=3)
+        policy = SwitchPolicy(config)
+        for item in stream:
+            if policy.mode is Mode.REMOTE_FETCH and item in ("slow", "fast"):
+                if item == "slow":
+                    policy.note_slow_call()
+                else:
+                    policy.note_fast_call()
+                assert policy.consecutive_slow < config.consecutive_slow_calls
+            elif policy.mode is Mode.SERVER_REPLY and isinstance(item, float):
+                policy.note_reply_time(item)

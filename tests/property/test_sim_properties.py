@@ -1,0 +1,112 @@
+"""Property-based tests for the discrete-event engine."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import ServiceStation, Simulator, Store
+
+delays = st.lists(
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=60,
+)
+
+
+class TestSchedulerProperties:
+    @given(delays)
+    def test_callbacks_fire_in_nondecreasing_time_order(self, values):
+        sim = Simulator()
+        seen = []
+        for delay in values:
+            sim.schedule(delay, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == sorted(seen)
+        assert len(seen) == len(values)
+
+    @given(delays)
+    def test_clock_ends_at_last_event(self, values):
+        sim = Simulator()
+        for delay in values:
+            sim.schedule(delay, lambda: None)
+        sim.run()
+        assert sim.now == max(values)
+
+    @given(delays, st.floats(min_value=0.0, max_value=1e6, allow_nan=False))
+    def test_run_until_processes_exactly_the_due_events(self, values, horizon):
+        sim = Simulator()
+        fired = []
+        for delay in values:
+            sim.schedule(delay, fired.append, delay)
+        sim.run(until=horizon)
+        assert sorted(fired) == sorted(d for d in values if d <= horizon)
+
+    @given(st.lists(st.integers(0, 1000), min_size=2, max_size=50))
+    def test_same_timestamp_fifo(self, tags):
+        sim = Simulator()
+        seen = []
+        for tag in tags:
+            sim.schedule(5.0, seen.append, tag)
+        sim.run()
+        assert seen == tags
+
+
+class TestServiceStationProperties:
+    @given(
+        st.lists(st.floats(min_value=0.001, max_value=100.0), min_size=1, max_size=40),
+        st.integers(min_value=1, max_value=8),
+    )
+    def test_fifo_completions_nondecreasing(self, services, servers):
+        sim = Simulator()
+        station = ServiceStation(sim, servers=servers)
+        completions = []
+        for service in services:
+            station.submit(service).wait(lambda e: completions.append(sim.now))
+        sim.run()
+        assert completions == sorted(completions)
+        assert len(completions) == len(services)
+
+    @given(
+        st.lists(st.floats(min_value=0.001, max_value=100.0), min_size=1, max_size=40),
+        st.integers(min_value=1, max_value=8),
+    )
+    def test_work_conservation_bounds(self, services, servers):
+        """Total makespan is bounded below by work/servers and above by
+        total work (single-server worst case)."""
+        sim = Simulator()
+        station = ServiceStation(sim, servers=servers)
+        for service in services:
+            station.submit(service)
+        sim.run()
+        total = sum(services)
+        assert sim.now >= total / servers - 1e-9
+        assert sim.now <= total + 1e-9
+        assert 0.0 <= station.utilization() <= 1.0
+
+    @given(st.lists(st.floats(min_value=0.001, max_value=10.0), min_size=1, max_size=40))
+    def test_single_server_makespan_is_total_work(self, services):
+        sim = Simulator()
+        station = ServiceStation(sim, servers=1)
+        for service in services:
+            station.submit(service)
+        sim.run()
+        assert abs(sim.now - sum(services)) < 1e-6 * max(1.0, sum(services))
+
+
+class TestStoreProperties:
+    @given(st.lists(st.integers(), min_size=0, max_size=50))
+    def test_fifo_delivery_exactly_once(self, items):
+        sim = Simulator()
+        store = Store(sim)
+        received = []
+
+        def consumer(sim):
+            for _ in range(len(items)):
+                value = yield store.get()
+                received.append(value)
+
+        sim.process(consumer(sim))
+        for item in items:
+            store.put(item)
+        sim.run()
+        assert received == items
+        assert len(store) == 0

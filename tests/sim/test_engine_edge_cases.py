@@ -1,0 +1,185 @@
+"""Edge-case tests for the event engine left uncovered elsewhere."""
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, Event, SimulationError, Simulator
+
+
+class TestEventEdgeCases:
+    def test_synchronous_wait_after_fail_defuses(self):
+        """Subscribing (synchronously) to an already-failed event observes
+        the failure and stops it escalating at the next timestep."""
+        sim = Simulator()
+        event = sim.event()
+        event.fail(ValueError("early"))
+        seen = []
+        event.wait(lambda e: seen.append(type(e._exc).__name__))
+        sim.run()  # must not raise: the failure was observed
+        assert seen == ["ValueError"]
+
+    def test_unobserved_failure_escalates_at_its_timestep(self):
+        """Nobody can 'wait later': an unobserved failure raises when its
+        timestep drains, so bugs never pass silently."""
+        sim = Simulator()
+        event = sim.event()
+        event.fail(ValueError("lost"))
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_fail_then_trigger_rejected(self):
+        sim = Simulator()
+        event = sim.event()
+        event.fail(ValueError("x"))
+        with pytest.raises(SimulationError):
+            event.trigger()
+        # Consume the failure so run() does not escalate it.
+        event._defused = True
+        sim.run()
+
+    def test_ok_property(self):
+        sim = Simulator()
+        event = sim.event()
+        assert not event.ok
+        event.trigger(1)
+        assert event.ok
+
+    def test_multiple_waiters_all_resumed(self):
+        sim = Simulator()
+        event = sim.event()
+        results = []
+
+        def waiter(sim, tag):
+            value = yield event
+            results.append((tag, value))
+
+        for tag in range(5):
+            sim.process(waiter(sim, tag))
+        sim.schedule(2.0, event.trigger, "go")
+        sim.run()
+        assert results == [(tag, "go") for tag in range(5)]
+
+    def test_timeout_with_payload(self):
+        sim = Simulator()
+
+        def body(sim):
+            return (yield sim.timeout(1.0, value={"k": 1}))
+
+        proc = sim.process(body(sim))
+        sim.run()
+        assert proc.value == {"k": 1}
+
+
+class TestProcessEdgeCases:
+    def test_process_name_defaults_to_generator_name(self):
+        sim = Simulator()
+
+        def my_worker(sim):
+            yield sim.timeout(1.0)
+
+        proc = sim.process(my_worker(sim))
+        assert proc.name == "my_worker"
+        sim.run()
+
+    def test_explicit_name_wins(self):
+        sim = Simulator()
+
+        def body(sim):
+            yield sim.timeout(1.0)
+
+        proc = sim.process(body(sim), name="custom")
+        assert proc.name == "custom"
+        sim.run()
+
+    def test_finished_flag(self):
+        sim = Simulator()
+
+        def body(sim):
+            yield sim.timeout(1.0)
+
+        proc = sim.process(body(sim))
+        assert not proc.finished
+        sim.run()
+        assert proc.finished
+
+    def test_immediate_return_process(self):
+        sim = Simulator()
+
+        def body(sim):
+            return 42
+            yield  # pragma: no cover - makes this a generator
+
+        proc = sim.process(body(sim))
+        sim.run()
+        assert proc.value == 42
+
+    def test_exception_before_first_yield(self):
+        sim = Simulator()
+
+        def body(sim):
+            raise RuntimeError("instant")
+            yield  # pragma: no cover
+
+        def parent(sim):
+            try:
+                yield sim.process(body(sim))
+            except RuntimeError as error:
+                return str(error)
+
+        proc = sim.process(parent(sim))
+        sim.run()
+        assert proc.value == "instant"
+
+
+class TestCompositeEdgeCases:
+    def test_anyof_with_processes(self):
+        sim = Simulator()
+
+        def slow(sim):
+            yield sim.timeout(10.0)
+            return "slow"
+
+        def fast(sim):
+            yield sim.timeout(1.0)
+            return "fast"
+
+        def body(sim):
+            index, value = yield AnyOf(sim, [sim.process(slow(sim)), sim.process(fast(sim))])
+            return index, value
+
+        proc = sim.process(body(sim))
+        sim.run()
+        assert proc.value == (1, "fast")
+
+    def test_allof_failure_propagates(self):
+        sim = Simulator()
+        good = sim.timeout(1.0, "ok")
+        bad = sim.event()
+        sim.schedule(2.0, bad.fail, ValueError("boom"))
+
+        def body(sim):
+            try:
+                yield AllOf(sim, [good, bad])
+            except ValueError as error:
+                return str(error)
+
+        proc = sim.process(body(sim))
+        sim.run()
+        assert proc.value == "boom"
+
+    def test_anyof_ties_resolve_to_first_listed(self):
+        sim = Simulator()
+        first = sim.timeout(3.0, "a")
+        second = sim.timeout(3.0, "b")
+
+        def body(sim):
+            return (yield AnyOf(sim, [first, second]))
+
+        proc = sim.process(body(sim))
+        sim.run()
+        assert proc.value == (0, "a")
+
+    def test_peek_after_drain_is_none(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.peek() is None

@@ -1,0 +1,191 @@
+"""Unit tests for resources, stores, and service stations."""
+
+import pytest
+
+from repro.sim import Resource, ServiceStation, SimulationError, Simulator, Store
+
+
+class TestResource:
+    def test_grants_up_to_capacity_immediately(self):
+        sim = Simulator()
+        resource = Resource(sim, capacity=2)
+        assert resource.request().triggered
+        assert resource.request().triggered
+        assert not resource.request().triggered
+        assert resource.queue_length == 1
+
+    def test_fifo_granting_order(self):
+        sim = Simulator()
+        resource = Resource(sim, capacity=1)
+        order = []
+
+        def worker(sim, tag, hold):
+            grant = resource.request()
+            yield grant
+            order.append(("start", tag, sim.now))
+            yield sim.timeout(hold)
+            resource.release()
+
+        sim.process(worker(sim, "a", 5.0))
+        sim.process(worker(sim, "b", 3.0))
+        sim.process(worker(sim, "c", 1.0))
+        sim.run()
+        assert order == [("start", "a", 0.0), ("start", "b", 5.0), ("start", "c", 8.0)]
+
+    def test_release_without_request_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            Resource(sim).release()
+
+    def test_capacity_validation(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            Resource(sim, capacity=0)
+
+    def test_locked_reflects_state(self):
+        sim = Simulator()
+        resource = Resource(sim, capacity=1)
+        assert not resource.locked()
+        resource.request()
+        assert resource.locked()
+        resource.release()
+        assert not resource.locked()
+
+
+class TestStore:
+    def test_put_then_get_immediate(self):
+        sim = Simulator()
+        store = Store(sim)
+        store.put("x")
+        event = store.get()
+        assert event.triggered
+        assert event.value == "x"
+
+    def test_get_blocks_until_put(self):
+        sim = Simulator()
+        store = Store(sim)
+
+        def consumer(sim):
+            item = yield store.get()
+            return (item, sim.now)
+
+        proc = sim.process(consumer(sim))
+        sim.schedule(7.0, store.put, "late")
+        sim.run()
+        assert proc.value == ("late", 7.0)
+
+    def test_items_delivered_once_in_order(self):
+        sim = Simulator()
+        store = Store(sim)
+        received = []
+
+        def consumer(sim):
+            while True:
+                item = yield store.get()
+                received.append(item)
+                if item == "stop":
+                    return
+
+        sim.process(consumer(sim))
+        for item in ["a", "b", "c", "stop"]:
+            store.put(item)
+        sim.run()
+        assert received == ["a", "b", "c", "stop"]
+
+    def test_multiple_getters_fifo(self):
+        sim = Simulator()
+        store = Store(sim)
+        results = []
+
+        def consumer(sim, tag):
+            item = yield store.get()
+            results.append((tag, item))
+
+        sim.process(consumer(sim, 0))
+        sim.process(consumer(sim, 1))
+        sim.schedule(1.0, store.put, "first")
+        sim.schedule(2.0, store.put, "second")
+        sim.run()
+        assert results == [(0, "first"), (1, "second")]
+
+    def test_len_counts_buffered_items(self):
+        sim = Simulator()
+        store = Store(sim)
+        assert len(store) == 0
+        store.put(1)
+        store.put(2)
+        assert len(store) == 2
+
+
+class TestServiceStation:
+    def test_single_server_serializes(self):
+        sim = Simulator()
+        station = ServiceStation(sim, servers=1)
+        done = []
+        for _ in range(3):
+            station.submit(2.0).wait(lambda e: done.append(sim.now))
+        sim.run()
+        assert done == [2.0, 4.0, 6.0]
+
+    def test_multi_server_parallelism(self):
+        sim = Simulator()
+        station = ServiceStation(sim, servers=2)
+        done = []
+        for _ in range(4):
+            station.submit(3.0).wait(lambda e: done.append(sim.now))
+        sim.run()
+        assert done == [3.0, 3.0, 6.0, 6.0]
+
+    def test_idle_station_starts_service_at_now(self):
+        sim = Simulator()
+        station = ServiceStation(sim)
+        done = []
+
+        def body(sim):
+            yield sim.timeout(10.0)
+            completion = station.submit(1.5)
+            yield completion
+            done.append(sim.now)
+
+        sim.process(body(sim))
+        sim.run()
+        assert done == [11.5]
+
+    def test_throughput_matches_service_rate(self):
+        sim = Simulator()
+        rate_mops = 2.0  # one op per 0.5 us
+        station = ServiceStation(sim, servers=1)
+        completions = []
+        for _ in range(1000):
+            station.submit(1.0 / rate_mops).wait(lambda e: completions.append(sim.now))
+        sim.run()
+        measured = len(completions) / sim.now
+        assert measured == pytest.approx(rate_mops, rel=1e-6)
+
+    def test_utilization_accounting(self):
+        sim = Simulator()
+        station = ServiceStation(sim, servers=1)
+        station.submit(4.0)
+        sim.run()
+        assert sim.now == 4.0
+        assert station.utilization() == pytest.approx(1.0)
+        assert station.operations == 1
+
+    def test_negative_service_time_rejected(self):
+        sim = Simulator()
+        station = ServiceStation(sim)
+        with pytest.raises(SimulationError):
+            station.submit(-1.0)
+
+    def test_backlog_reports_wait(self):
+        sim = Simulator()
+        station = ServiceStation(sim, servers=1)
+        station.submit(5.0)
+        assert station.backlog() == 5.0
+
+    def test_submission_value_carried(self):
+        sim = Simulator()
+        station = ServiceStation(sim)
+        event = station.submit(1.0, value="tag")
+        sim.run()
+        assert event.value == "tag"

@@ -1,0 +1,129 @@
+"""Tests for the tracing subsystem and its RFP instrumentation."""
+
+import pytest
+
+from repro.core import Mode, RfpClient, RfpServer
+from repro.errors import ReproError
+from repro.hw import CLUSTER_EUROSYS17, build_cluster
+from repro.sim import Simulator, Tracer
+
+
+class TestTracerUnit:
+    def test_records_with_simulated_timestamps(self):
+        sim = Simulator()
+        tracer = Tracer(sim)
+        sim.schedule(5.0, tracer.record, "cat", "event")
+        sim.run()
+        (event,) = tracer.events()
+        assert event.at_us == 5.0
+        assert event.category == "cat"
+        assert event.label == "event"
+
+    def test_category_filter_drops_at_source(self):
+        sim = Simulator()
+        tracer = Tracer(sim, categories=["keep"])
+        tracer.record("keep", "a")
+        tracer.record("drop", "b")
+        assert len(tracer) == 1
+        assert tracer.wants("keep")
+        assert not tracer.wants("drop")
+
+    def test_ring_buffer_caps_events_but_counts_all(self):
+        sim = Simulator()
+        tracer = Tracer(sim, capacity=10)
+        for i in range(25):
+            tracer.record("cat", f"e{i}")
+        assert len(tracer) == 10
+        assert tracer.counts() == {"cat": 25}
+        assert tracer.events()[0].label == "e15"
+
+    def test_filtered_views(self):
+        sim = Simulator()
+        tracer = Tracer(sim)
+        tracer.record("a", "x", n=1)
+        sim.schedule(10.0, tracer.record, "b", "x")
+        sim.run()
+        assert len(tracer.events(category="a")) == 1
+        assert len(tracer.events(label="x")) == 2
+        assert len(tracer.events(since_us=5.0)) == 1
+
+    def test_format_lines(self):
+        sim = Simulator()
+        tracer = Tracer(sim)
+        tracer.record("rfp.client", "call_done", seq=3, latency_us=2.5)
+        (line,) = tracer.format_lines()
+        assert "rfp.client" in line
+        assert "call_done" in line
+        assert "seq=3" in line
+
+    def test_capacity_validated(self):
+        with pytest.raises(ReproError):
+            Tracer(Simulator(), capacity=0)
+
+
+class TestRfpInstrumentation:
+    def make_rig(self, process_us=0.2):
+        sim = Simulator()
+        cluster = build_cluster(sim, CLUSTER_EUROSYS17)
+        tracer = Tracer(sim)
+        server = RfpServer(
+            sim,
+            cluster,
+            cluster.server,
+            lambda p, c: (p, process_us),
+            threads=2,
+            tracer=tracer,
+        )
+        client = RfpClient(
+            sim, cluster.client_machines[0], server, tracer=tracer
+        )
+        return sim, tracer, client
+
+    def test_fast_call_produces_expected_phases(self):
+        sim, tracer, client = self.make_rig()
+
+        def body(sim):
+            yield from client.call(b"hello")
+
+        sim.process(body(sim))
+        sim.run()
+        labels = [e.label for e in tracer.events()]
+        assert labels == [
+            "request_sent",
+            "response_published",
+            "fetch_success",
+            "call_done",
+        ]
+        # Phases are causally ordered in time.
+        times = [e.at_us for e in tracer.events()]
+        assert times == sorted(times)
+
+    def test_slow_calls_trace_the_mode_switch(self):
+        sim, tracer, client = self.make_rig(process_us=30.0)
+
+        def body(sim):
+            for _ in range(3):
+                yield from client.call(b"x")
+
+        sim.process(body(sim))
+        sim.run()
+        switches = tracer.events(label="mode_switch")
+        assert len(switches) == 1
+        assert switches[0].data["to"] == "SERVER_REPLY"
+        assert client.mode is Mode.SERVER_REPLY
+        assert tracer.events(label="reply_pushed")
+
+    def test_untraced_run_records_nothing(self):
+        sim = Simulator()
+        cluster = build_cluster(sim, CLUSTER_EUROSYS17)
+        server = RfpServer(
+            sim, cluster, cluster.server, lambda p, c: (p, 0.1), threads=2
+        )
+        client = RfpClient(sim, cluster.client_machines[0], server)
+
+        def body(sim):
+            yield from client.call(b"x")
+
+        sim.process(body(sim))
+        sim.run()  # must simply not crash without a tracer
+        assert client.stats.calls.value == 1

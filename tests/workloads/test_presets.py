@@ -1,0 +1,36 @@
+"""Tests for the standard YCSB workload presets."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import WorkloadSpec, ycsb_preset
+
+
+class TestYcsbPresets:
+    def test_workload_a_is_update_heavy(self):
+        spec = ycsb_preset("A", records=1000)
+        assert spec.get_fraction == 0.50
+        assert spec.distribution == "zipfian"
+        assert spec.records == 1000
+
+    def test_workload_b_is_read_mostly(self):
+        spec = ycsb_preset("b")
+        assert spec.get_fraction == 0.95
+        assert spec.distribution == "zipfian"
+
+    def test_workload_c_is_read_only(self):
+        spec = ycsb_preset("C")
+        assert spec.get_fraction == 1.00
+
+    def test_workload_f_mix(self):
+        assert ycsb_preset("F").get_fraction == 0.50
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(WorkloadError):
+            ycsb_preset("E")  # scans are not expressible over GET/PUT
+
+    def test_presets_are_valid_specs(self):
+        for letter in ("A", "B", "C", "F"):
+            spec = ycsb_preset(letter, records=64, seed=9)
+            assert isinstance(spec, WorkloadSpec)
+            assert spec.seed == 9

@@ -1,0 +1,187 @@
+"""Unit tests for workload generation."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import (
+    FacebookValues,
+    FixedValues,
+    KeySpace,
+    UniformValues,
+    WorkloadSpec,
+    YcsbWorkload,
+    ZipfSampler,
+)
+
+
+class TestZipfSampler:
+    def test_ranks_in_range(self):
+        sampler = ZipfSampler(population=1000, exponent=0.99)
+        rng = np.random.default_rng(0)
+        ranks = sampler.sample(rng, 10_000)
+        assert ranks.min() >= 0
+        assert ranks.max() < 1000
+
+    def test_rank_zero_is_hottest(self):
+        sampler = ZipfSampler(population=1000, exponent=0.99)
+        rng = np.random.default_rng(0)
+        ranks = sampler.sample(rng, 50_000)
+        counts = np.bincount(ranks, minlength=1000)
+        assert counts[0] == counts.max()
+        assert counts[0] > 10 * counts[500:].mean()
+
+    def test_probabilities_sum_to_one(self):
+        sampler = ZipfSampler(population=200, exponent=0.99)
+        total = sum(sampler.probability(r) for r in range(200))
+        assert total == pytest.approx(1.0)
+
+    def test_hot_to_mean_ratio_grows_with_population(self):
+        """The paper quotes ~1e5 for its population; the ratio must grow
+        steeply with N under s=.99."""
+        small = ZipfSampler(1000, 0.99).hot_to_mean_ratio()
+        large = ZipfSampler(100_000, 0.99).hot_to_mean_ratio()
+        assert large > 5 * small
+        assert large > 1000
+
+    def test_exponent_zero_is_uniform(self):
+        sampler = ZipfSampler(population=100, exponent=0.0)
+        assert sampler.probability(0) == pytest.approx(0.01)
+        assert sampler.probability(99) == pytest.approx(0.01)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            ZipfSampler(0)
+        with pytest.raises(WorkloadError):
+            ZipfSampler(10, exponent=-1)
+        with pytest.raises(WorkloadError):
+            ZipfSampler(10).probability(10)
+
+
+class TestKeySpace:
+    def test_fixed_width_keys(self):
+        keys = KeySpace(1000, key_bytes=16)
+        assert len(keys.key(0)) == 16
+        assert len(keys.key(999)) == 16
+        assert keys.key(0) != keys.key(999)
+
+    def test_keys_unique(self):
+        keys = KeySpace(500, key_bytes=16)
+        assert len(set(keys)) == 500
+
+    def test_out_of_range_rejected(self):
+        keys = KeySpace(10)
+        with pytest.raises(WorkloadError):
+            keys.key(10)
+        with pytest.raises(WorkloadError):
+            keys.key(-1)
+
+    def test_width_must_fit_count(self):
+        with pytest.raises(WorkloadError):
+            KeySpace(10**9, key_bytes=4)
+
+
+class TestValueSizes:
+    def test_fixed(self):
+        dist = FixedValues(32)
+        rng = np.random.default_rng(0)
+        assert dist.draw(rng) == 32
+        assert dist.mean() == 32
+
+    def test_uniform_range(self):
+        dist = UniformValues(32, 8192)
+        rng = np.random.default_rng(0)
+        draws = [dist.draw(rng) for _ in range(2000)]
+        assert min(draws) >= 32
+        assert max(draws) <= 8192
+        assert abs(np.mean(draws) - dist.mean()) < 300
+
+    def test_facebook_mostly_small(self):
+        dist = FacebookValues()
+        rng = np.random.default_rng(0)
+        draws = [dist.draw(rng) for _ in range(5000)]
+        assert np.median(draws) < 50
+        assert max(draws) > 100  # has a tail
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            FixedValues(-1)
+        with pytest.raises(WorkloadError):
+            UniformValues(100, 10)
+        with pytest.raises(WorkloadError):
+            FacebookValues(tail_prob=1.5)
+
+
+class TestWorkloadSpec:
+    def test_paper_default_description(self):
+        spec = WorkloadSpec()
+        assert "95% GET" in spec.describe()
+        assert "uniform" in spec.describe()
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            WorkloadSpec(get_fraction=1.5)
+        with pytest.raises(WorkloadError):
+            WorkloadSpec(distribution="gaussian")
+        with pytest.raises(WorkloadError):
+            WorkloadSpec(records=0)
+
+
+class TestYcsbWorkload:
+    def test_dataset_matches_spec(self):
+        workload = YcsbWorkload(WorkloadSpec(records=100))
+        pairs = list(workload.dataset())
+        assert len(pairs) == 100
+        assert all(len(k) == 16 for k, _ in pairs)
+        assert all(len(v) == 32 for _, v in pairs)
+
+    def test_get_fraction_respected(self):
+        workload = YcsbWorkload(WorkloadSpec(records=100, get_fraction=0.95))
+        ops = list(itertools.islice(workload.operations("c0"), 5000))
+        gets = sum(1 for op in ops if op.is_get)
+        assert 0.93 < gets / len(ops) < 0.97
+
+    def test_puts_carry_values(self):
+        workload = YcsbWorkload(WorkloadSpec(records=100, get_fraction=0.0))
+        ops = list(itertools.islice(workload.operations("c0"), 50))
+        assert all(not op.is_get and op.value is not None for op in ops)
+
+    def test_streams_deterministic_per_client(self):
+        spec = WorkloadSpec(records=1000)
+        a = list(itertools.islice(YcsbWorkload(spec).operations("c0"), 100))
+        b = list(itertools.islice(YcsbWorkload(spec).operations("c0"), 100))
+        assert a == b
+
+    def test_distinct_clients_distinct_streams(self):
+        workload = YcsbWorkload(WorkloadSpec(records=1000))
+        a = list(itertools.islice(workload.operations("c0"), 100))
+        b = list(itertools.islice(workload.operations("c1"), 100))
+        assert a != b
+
+    def test_zipfian_concentrates_on_hot_keys(self):
+        spec = WorkloadSpec(records=10_000, distribution="zipfian")
+        workload = YcsbWorkload(spec)
+        ops = list(itertools.islice(workload.operations("c0"), 20_000))
+        counts = {}
+        for op in ops:
+            counts[op.key] = counts.get(op.key, 0) + 1
+        top = max(counts.values())
+        assert top > 50  # the hottest key dominates
+        assert len(counts) < 10_000  # long tail barely touched
+
+    def test_uniform_spreads_keys(self):
+        spec = WorkloadSpec(records=1000, distribution="uniform")
+        workload = YcsbWorkload(spec)
+        ops = list(itertools.islice(workload.operations("c0"), 20_000))
+        counts = {}
+        for op in ops:
+            counts[op.key] = counts.get(op.key, 0) + 1
+        assert max(counts.values()) < 60
+
+    def test_result_sizes_for_sampler(self):
+        workload = YcsbWorkload(WorkloadSpec(records=10))
+        sizes = workload.result_sizes(500)
+        assert len(sizes) == 500
+        assert all(s == 32 for s in sizes)
