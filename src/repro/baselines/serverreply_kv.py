@@ -31,6 +31,7 @@ def build_serverreply_kv(
     cost_model: Optional[StoreCostModel] = None,
     seed: int = 0,
     name: str = "serverreply-kv",
+    tracer=None,
     **store_kwargs,
 ) -> Jakiro:
     """Build the ServerReply comparison system.
@@ -50,5 +51,6 @@ def build_serverreply_kv(
         name=name,
         server_class=ServerReplyServer,
         client_class=ServerReplyClient,
+        tracer=tracer,
         **store_kwargs,
     )

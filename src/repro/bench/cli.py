@@ -93,9 +93,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     scale = Scale.full_scale() if args.full else Scale.fast()
     sections = []
     for experiment_id in selected:
-        started = time.time()
+        # Host wall time for CLI progress output only — never feeds a model.
+        started = time.time()  # lint: disable=no-wall-clock
         result = run_experiment(experiment_id, scale)
-        elapsed = time.time() - started
+        elapsed = time.time() - started  # lint: disable=no-wall-clock
         section = format_result(result)
         sections.append(section)
         print(section)

@@ -36,6 +36,7 @@ from repro.hw.specs import CLUSTER_EUROSYS17, CONNECTX2, ClusterSpec, MachineSpe
 from repro.paradigms.server_bypass import SyntheticBypassClient
 from repro.sim.core import Simulator
 from repro.sim.monitor import ThroughputMeter
+from repro.sim.random import seeded_rng
 from repro.workloads.value_sizes import FixedValues, UniformValues
 from repro.workloads.ycsb import WorkloadSpec
 
@@ -248,7 +249,7 @@ def run_params(scale: Scale) -> ExperimentResult:
     small = select_parameters(
         [32 + 9] * 256, iops_at, retry_bound, lower, upper
     )
-    mixed_sizes = list(np.random.default_rng(1).integers(32, 8193, size=512))
+    mixed_sizes = list(seeded_rng(1).integers(32, 8193, size=512))
     mixed = select_parameters(
         [int(s) for s in mixed_sizes], iops_at, retry_bound, lower, upper
     )

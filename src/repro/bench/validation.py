@@ -7,7 +7,6 @@ passes these will reproduce every figure's shape.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import List
 

@@ -128,7 +128,13 @@ class RfpClient:
 
     def _trace(self, label: str, **data) -> None:
         if self.tracer is not None:
-            self.tracer.record("rfp.client", label, client=self.name, **data)
+            self.tracer.record(
+                "rfp.client",
+                label,
+                client=self.name,
+                channel=self.channel.client_id,
+                **data,
+            )
 
     def apply_parameters(self, retry_bound: int, fetch_size: int) -> None:
         """Adopt new (R, F) — the output of a §3.2 (re-)selection.
@@ -251,6 +257,12 @@ class RfpClient:
         slow_noted = False
         while True:
             yield sim.timeout(config.client_post_cpu_us)
+            self._trace(
+                "fetch_read",
+                seq=self.seq,
+                attempt=failed + 1,
+                bytes=config.fetch_size,
+            )
             yield self.endpoint.post_read(
                 self._fetch_landing, 0, channel.response_region, 0, config.fetch_size
             )
@@ -284,6 +296,9 @@ class RfpClient:
         plan = plan_fetch(header.size, self.config.fetch_size)
         if not plan.complete_after_first:
             yield self.sim.timeout(self.config.client_post_cpu_us)
+            self._trace(
+                "remainder_read", seq=self.seq, bytes=plan.remainder_bytes
+            )
             yield self.endpoint.post_read(
                 self._fetch_landing,
                 plan.remainder_offset,
@@ -316,6 +331,7 @@ class RfpClient:
             response = self._reply_landing.read_local(
                 RESPONSE_HEADER_BYTES, header.size
             )
+            self._trace("reply_received", seq=self.seq, bytes=header.size)
             if self.result_sampler is not None:
                 self.result_sampler.observe(header.size)
             if self.policy.mode is Mode.SERVER_REPLY:
@@ -335,6 +351,7 @@ class RfpClient:
         yield sim.timeout(self.config.client_post_cpu_us)
         channel = self.channel
         server = self.server
+        self._trace("flag_published", seq=self.seq, mode=new_mode.name)
         yield self.endpoint.post_write(
             self._flag_staging,
             0,

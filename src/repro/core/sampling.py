@@ -14,6 +14,7 @@ from typing import Iterable, List, Sequence
 import numpy as np
 
 from repro.errors import ProtocolError
+from repro.sim.random import seeded_rng
 
 __all__ = ["ResultSampler"]
 
@@ -25,7 +26,7 @@ class ResultSampler:
         if capacity < 1:
             raise ProtocolError(f"sampler capacity must be >= 1, got {capacity}")
         self.capacity = capacity
-        self._rng = np.random.default_rng(seed)
+        self._rng = seeded_rng(seed)
         self._reservoir: List[int] = []
         self._seen = 0
 

@@ -26,8 +26,6 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Tuple
 
-import numpy as np
-
 from repro.core.config import RfpConfig
 from repro.core.headers import (
     REQUEST_HEADER_BYTES,
@@ -42,7 +40,7 @@ from repro.hw.machine import Machine
 from repro.hw.memory import MemoryRegion
 from repro.sim.core import Simulator
 from repro.sim.monitor import Counter, Tally
-from repro.sim.random import stable_hash
+from repro.sim.random import seeded_rng, stable_hash
 from repro.sim.resources import Store
 
 __all__ = ["RfpServer", "RfpServerStats", "ClientChannel", "RequestContext"]
@@ -157,7 +155,7 @@ class RfpServer:
         self.stats = RfpServerStats()
         #: Optional :class:`repro.sim.Tracer` recording protocol phases.
         self.tracer = tracer
-        self._jitter_rng = np.random.default_rng(stable_hash(name))
+        self._jitter_rng = seeded_rng(stable_hash(name))
         self._stores: List[Store] = [Store(sim) for _ in range(threads)]
         self._channels: List[ClientChannel] = []
         self._next_thread = 0
@@ -312,6 +310,13 @@ class RfpServer:
         fetching and is blocked waiting).
         """
         channel.mode = new_mode
+        if self.tracer is not None:
+            self.tracer.record(
+                "rfp.server",
+                "mode_flag",
+                client=channel.client_id,
+                mode=new_mode.name,
+            )
         pending = (
             new_mode is Mode.SERVER_REPLY
             and channel.state == ClientChannel.DONE

@@ -49,9 +49,9 @@ def pipeline_service_time(
     """
     if size_bytes < 0:
         raise HardwareModelError(f"negative payload size: {size_bytes}")
-    wire = size_bytes / bandwidth_bytes_per_us
-    if wire == 0.0:
+    if size_bytes == 0:
         return base_us
+    wire = size_bytes / bandwidth_bytes_per_us
     return (base_us**order + wire**order) ** (1.0 / order)
 
 
@@ -71,6 +71,14 @@ class RNIC:
         self.in_pipeline = ServiceStation(sim, servers=1, name=f"{owner_name}.in")
         self._issuing_threads = 0
         self._active_qps = 0
+        #: Lifetime op/byte tallies per direction.  The invariant checker
+        #: (:mod:`repro.lint.invariants`) reconciles these against the
+        #: traced protocol — an RFP server whose clients all remote-fetch
+        #: must show zero out-bound ops (§2.2).
+        self.outbound_ops = 0
+        self.inbound_ops = 0
+        self.outbound_bytes = 0
+        self.inbound_bytes = 0
 
     # ------------------------------------------------------------------
     # Contention bookkeeping
@@ -154,10 +162,14 @@ class RNIC:
 
     def submit_outbound(self, size_bytes: int, kind: str = "write") -> Event:
         """Enqueue one issued op; event fires when the NIC has sent it."""
+        self.outbound_ops += 1
+        self.outbound_bytes += size_bytes
         return self.out_pipeline.submit(self.outbound_service_us(size_bytes, kind))
 
     def submit_inbound(self, size_bytes: int) -> Event:
         """Enqueue one served op; event fires when the NIC has handled it."""
+        self.inbound_ops += 1
+        self.inbound_bytes += size_bytes
         return self.in_pipeline.submit(self.inbound_service_us(size_bytes))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -32,13 +32,12 @@ from __future__ import annotations
 import enum
 from typing import Callable, Optional
 
-import numpy as np
-
 from repro.errors import TransportError
 from repro.hw.machine import Machine
 from repro.hw.memory import MemoryRegion
 from repro.hw.network import Network
 from repro.sim.core import Event, Simulator
+from repro.sim.random import seeded_rng
 from repro.sim.resources import Store
 
 __all__ = ["QPType", "QueuePair", "Endpoint", "READ_REQUEST_WIRE_BYTES"]
@@ -96,7 +95,7 @@ class QueuePair:
         self.qp_type = qp_type
         self.loss_probability = loss_probability
         self._loss_rng = (
-            np.random.default_rng(loss_seed) if loss_probability > 0.0 else None
+            seeded_rng(loss_seed) if loss_probability > 0.0 else None
         )
         self.messages_lost = 0
         self._open = True

@@ -13,10 +13,9 @@ from __future__ import annotations
 
 from typing import Generic, List, Optional, Tuple, TypeVar
 
-import numpy as np
-
 from repro.errors import KVError
 from repro.kv.crc import crc64
+from repro.sim.random import seeded_rng
 
 __all__ = ["CuckooHashTable", "cuckoo_candidates"]
 
@@ -80,7 +79,7 @@ class CuckooHashTable(Generic[V]):
         self.max_kicks = max_kicks
         self._slots: List[Optional[Tuple[bytes, V]]] = [None] * capacity
         self._count = 0
-        self._rng = np.random.default_rng(seed)
+        self._rng = seeded_rng(seed)
         self._on_slot_update = on_slot_update
         self.kick_total = 0
 

@@ -22,8 +22,6 @@ from __future__ import annotations
 
 from typing import Generator, List, Optional, Tuple
 
-import numpy as np
-
 from repro.core.client import RfpClient
 from repro.core.config import RfpConfig
 from repro.core.rpc import RPC_OK, RpcClient, RpcServer
@@ -43,6 +41,7 @@ from repro.kv.serialization import (
 )
 from repro.kv.store import JakiroStore, StoreCostModel, partition_of
 from repro.sim.core import Simulator
+from repro.sim.random import seeded_rng
 
 __all__ = ["Jakiro", "JakiroClient"]
 
@@ -64,11 +63,14 @@ class Jakiro:
         name: str = "jakiro",
         server_class: type = RfpServer,
         client_class: type = RfpClient,
+        tracer=None,
     ) -> None:
         """``server_class``/``client_class`` default to the RFP transport;
         the ServerReply baseline injects its pinned-mode subclasses here —
         mirroring how the paper's ServerReply "is extended from Jakiro"
-        (§4.2)."""
+        (§4.2).  ``tracer`` (a :class:`repro.sim.Tracer`) is forwarded to
+        the server and every connected client, so a protocol invariant
+        checker can observe a whole KV run."""
         self.sim = sim
         self.cluster = cluster
         self.machine = machine if machine is not None else cluster.server
@@ -78,15 +80,17 @@ class Jakiro:
             buckets_per_partition=buckets_per_partition,
             max_value_bytes=max_value_bytes,
             cost_model=cost_model,
-            rng=np.random.default_rng(seed),
+            rng=seeded_rng(seed),
         )
         rpc = RpcServer()
         rpc.register(GET_FUNCTION, self._handle_get)
         rpc.register(PUT_FUNCTION, self._handle_put)
         self.rpc = rpc
         self.client_class = client_class
+        self.tracer = tracer
         self.server = server_class(
-            sim, cluster, self.machine, rpc.handle, threads, self.config, name
+            sim, cluster, self.machine, rpc.handle, threads, self.config, name,
+            tracer=tracer,
         )
 
     @property
@@ -99,6 +103,7 @@ class Jakiro:
         config: Optional[RfpConfig] = None,
         name: str = "",
         register_issuer: bool = True,
+        tracer=None,
     ) -> "JakiroClient":
         """Attach one client thread running on ``machine``."""
         return JakiroClient(
@@ -108,6 +113,7 @@ class Jakiro:
             config=config,
             name=name,
             register_issuer=register_issuer,
+            tracer=tracer,
         )
 
     def preload(self, pairs) -> None:
@@ -152,13 +158,18 @@ class JakiroClient:
         config: Optional[RfpConfig] = None,
         name: str = "",
         register_issuer: bool = True,
+        tracer=None,
     ) -> None:
         """``register_issuer=False`` lets one client *thread* that holds
-        clients to several shards count once in the NIC contention model."""
+        clients to several shards count once in the NIC contention model.
+        ``tracer`` defaults to the server-side tracer, so one tracer sees
+        both halves of the protocol."""
         self.sim = sim
         self.machine = machine
         self.jakiro = jakiro
         self.name = name or f"jakiro-client@{machine.name}"
+        if tracer is None:
+            tracer = jakiro.tracer
         if register_issuer:
             machine.rnic.register_issuer()
         self._transports: List[RpcClient] = []
@@ -171,6 +182,7 @@ class JakiroClient:
                 name=f"{self.name}.p{thread_id}",
                 thread_id=thread_id,
                 register_issuer=False,
+                tracer=tracer,
             )
             self._transports.append(RpcClient(rfp))
 

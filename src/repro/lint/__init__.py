@@ -1,0 +1,29 @@
+"""Static determinism lint and runtime RFP protocol invariant checking.
+
+Two layers guard the promises the reproduction rests on:
+
+- :mod:`repro.lint.rules` / :mod:`repro.lint.engine` — an AST lint that
+  walks the source tree and reports determinism hazards (wall-clock
+  reads, global RNG state, float time equality, mixed unit suffixes,
+  mutable defaults, non-event yields in simulator processes) with
+  ``file:line`` positions.  Run it with ``python -m repro.lint``.
+- :mod:`repro.lint.invariants` — a :class:`~repro.sim.trace.Tracer`
+  observer that checks every simulated RFP request against the paper's
+  §3.2 state machine while the simulation runs.
+
+See ``docs/lint.md`` for the rule catalogue and the invariant list.
+"""
+
+from repro.lint.engine import lint_file, lint_paths, lint_source
+from repro.lint.invariants import InvariantViolation, RfpInvariantChecker
+from repro.lint.rules import ALL_RULES, Violation
+
+__all__ = [
+    "ALL_RULES",
+    "Violation",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "InvariantViolation",
+    "RfpInvariantChecker",
+]

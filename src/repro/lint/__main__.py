@@ -1,0 +1,82 @@
+"""``python -m repro.lint [paths...]`` — run the determinism lint.
+
+Exits 0 when the tree is clean, 1 when any violation is found, 2 on
+usage errors.  With no paths, lints ``src`` and ``benchmarks`` relative
+to the current directory (the repository layout).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional, Sequence
+
+from repro.lint.engine import lint_paths
+from repro.lint.rules import ALL_RULES, rule_names
+
+_DEFAULT_PATHS = ("src", "benchmarks")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="Determinism lint for the RFP reproduction.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: src benchmarks)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule names to run (default: all)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.name:20s} {rule.description}")
+        return 0
+
+    rules = None
+    if args.select:
+        wanted = {name.strip() for name in args.select.split(",") if name.strip()}
+        unknown = wanted - set(rule_names())
+        if unknown:
+            print(
+                f"unknown rule(s): {', '.join(sorted(unknown))}\n"
+                f"available: {', '.join(rule_names())}",
+                file=sys.stderr,
+            )
+            return 2
+        rules = [rule for rule in ALL_RULES if rule.name in wanted]
+
+    paths: List[str] = args.paths or [p for p in _DEFAULT_PATHS if os.path.isdir(p)]
+    if not paths:
+        print("no paths given and no src/benchmarks here", file=sys.stderr)
+        return 2
+    missing = [p for p in paths if not os.path.exists(p)]
+    if missing:
+        print(f"no such path(s): {', '.join(missing)}", file=sys.stderr)
+        return 2
+
+    violations = lint_paths(paths, rules=rules)
+    for violation in violations:
+        print(violation.format())
+    checked = "all rules" if rules is None else f"{len(rules)} selected rule(s)"
+    if violations:
+        print(f"\n{len(violations)} violation(s) ({checked})")
+        return 1
+    print(f"clean ({checked})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

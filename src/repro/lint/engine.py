@@ -1,0 +1,131 @@
+"""Lint driver: file discovery, pragma suppression, rule dispatch.
+
+The engine parses each file once and hands the tree to every rule.
+Violations can be suppressed per line with an explicit pragma::
+
+    started = time.time()  # lint: disable=no-wall-clock -- CLI wall time
+
+(`# lint: disable` with no rule list suppresses every rule on that
+line), or for a whole file with ``# lint: skip-file`` within the first
+five lines.  Pragmas are deliberately loud: the point of the lint is
+that exceptions to the determinism contract are visible in the diff.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
+
+from repro.lint.rules import ALL_RULES, FileContext, Rule, Violation
+
+__all__ = ["lint_source", "lint_file", "lint_paths", "iter_python_files"]
+
+_DISABLE_PRAGMA = re.compile(r"#\s*lint:\s*disable(?:=([\w\-, ]+))?")
+_SKIP_FILE_PRAGMA = re.compile(r"#\s*lint:\s*skip-file")
+
+#: Directory names never descended into during discovery.
+_SKIP_DIRS = {
+    ".git",
+    "__pycache__",
+    ".pytest_cache",
+    ".mypy_cache",
+    "build",
+    "dist",
+}
+
+
+def _line_suppressions(source: str) -> Dict[int, Optional[Set[str]]]:
+    """Map line number -> suppressed rule names (None = all rules)."""
+    suppressions: Dict[int, Optional[Set[str]]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _DISABLE_PRAGMA.search(line)
+        if not match:
+            continue
+        listed = match.group(1)
+        if listed is None:
+            suppressions[lineno] = None
+        else:
+            suppressions[lineno] = {
+                name.strip() for name in listed.split(",") if name.strip()
+            }
+    return suppressions
+
+
+def _file_skipped(source: str) -> bool:
+    head = source.splitlines()[:5]
+    return any(_SKIP_FILE_PRAGMA.search(line) for line in head)
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[Violation]:
+    """Lint one source string; returns violations sorted by position."""
+    if _file_skipped(source):
+        return []
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as error:
+        return [
+            Violation(
+                path,
+                error.lineno or 1,
+                (error.offset or 1) - 1,
+                "syntax-error",
+                f"file does not parse: {error.msg}",
+            )
+        ]
+    context = FileContext(path=path, tree=tree, source=source)
+    suppressions = _line_suppressions(source)
+    violations: List[Violation] = []
+    for rule in rules if rules is not None else ALL_RULES:
+        for violation in rule.check(context):
+            suppressed = suppressions.get(violation.line)
+            if violation.line in suppressions and (
+                suppressed is None or violation.rule in suppressed
+            ):
+                continue
+            violations.append(violation)
+    violations.sort(key=lambda v: (v.line, v.col, v.rule))
+    return violations
+
+
+def lint_file(
+    path: str,
+    rules: Optional[Sequence[Rule]] = None,
+    display_path: Optional[str] = None,
+) -> List[Violation]:
+    """Lint one file on disk."""
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    shown = display_path if display_path is not None else path
+    return lint_source(source, path=shown.replace(os.sep, "/"), rules=rules)
+
+
+def iter_python_files(paths: Iterable[str]) -> Iterator[str]:
+    """Yield every ``.py`` file under ``paths`` (files pass through)."""
+    for path in paths:
+        if os.path.isfile(path):
+            if path.endswith(".py"):
+                yield path
+            continue
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames[:] = sorted(d for d in dirnames if d not in _SKIP_DIRS)
+            for filename in sorted(filenames):
+                if filename.endswith(".py"):
+                    yield os.path.join(dirpath, filename)
+
+
+def lint_paths(
+    paths: Iterable[str],
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[Violation]:
+    """Lint every Python file under ``paths``; sorted, deterministic."""
+    violations: List[Violation] = []
+    for filepath in iter_python_files(paths):
+        violations.extend(lint_file(filepath, rules=rules))
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+    return violations

@@ -1,0 +1,422 @@
+"""Runtime checking of the RFP protocol state machine (paper §3.2).
+
+:class:`RfpInvariantChecker` subscribes to a :class:`repro.sim.Tracer`
+and validates every traced protocol event against the paper's rules:
+
+1. **Result-ready ordering** — a client may only *commit* a fetched
+   response after the server published it (payload first, header-with-
+   parity last).  A fetch that returns data before the result-ready
+   header write is the torn-read bug class one-sided designs are prone
+   to (§3.1).
+2. **Retry bound** — a switch to server-reply mode happens only after
+   the in-flight call burned at least ``R`` failed fetches *and* the
+   client saw ``consecutive_slow_calls`` slow calls in a row (§3.2).
+3. **Fetch size** — every first fetch reads exactly ``F`` bytes and a
+   remainder read moves only the bytes beyond ``F``, within the response
+   buffer (§3.2's Eq. 1 accounting depends on this).
+4. **Mode legality** — transitions follow the two-state machine of
+   ``repro/core/mode.py``: ``REMOTE_FETCH → SERVER_REPLY`` only on slow
+   streaks, ``SERVER_REPLY → REMOTE_FETCH`` only after a fast reply; the
+   published mode flag always matches the client's decision, and the
+   server never pushes a reply to a remote-fetching client.
+5. **NIC accounting** (:meth:`check_nic_accounting`) — the server's NIC
+   op counters must agree with the traced protocol: out-bound ops equal
+   pushed replies (zero while every client remote-fetches — the paper's
+   "server sends nothing" claim, §2.2/Fig. 5), in-bound ops equal
+   requests + fetches + flag writes.
+
+The checker collects violations by default so a full run can be audited
+post-hoc; construct with ``halt_on_violation=True`` to raise at the
+exact simulated time the protocol breaks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.core.config import RfpConfig
+from repro.core.headers import RESPONSE_HEADER_BYTES
+from repro.core.mode import Mode
+from repro.errors import ReproError
+from repro.sim.trace import TraceEvent, Tracer
+
+__all__ = ["InvariantViolation", "RfpInvariantChecker"]
+
+
+class InvariantViolation(ReproError):
+    """An RFP protocol invariant was broken during a simulation."""
+
+
+@dataclass
+class _ClientState:
+    """Checker-side view of one ⟨client, server⟩ connection."""
+
+    mode: Mode = Mode.REMOTE_FETCH
+    server_mode: Mode = Mode.REMOTE_FETCH
+    inflight_seq: Optional[int] = None
+    fetch_reads: int = 0
+    slow_streak: int = 0
+    published_seq: Optional[int] = None
+    published_size: int = 0
+    published_time_us: float = 0.0
+    pushed_seq: Optional[int] = None
+    # Totals for NIC accounting.
+    requests_sent: int = 0
+    fetch_reads_total: int = 0
+    remainder_reads_total: int = 0
+    flags_published: int = 0
+    replies_pushed: int = 0
+
+
+class RfpInvariantChecker:
+    """Validates traced RFP protocol events against the §3.2 rules."""
+
+    def __init__(
+        self,
+        config: Optional[RfpConfig] = None,
+        halt_on_violation: bool = False,
+        initial_mode: Mode = Mode.REMOTE_FETCH,
+    ) -> None:
+        """``initial_mode`` is :attr:`Mode.REMOTE_FETCH` for RFP (paper
+        default); pass :attr:`Mode.SERVER_REPLY` when checking the pinned
+        ServerReply baseline, whose channels never write a mode flag."""
+        self.config = config if config is not None else RfpConfig()
+        self.halt_on_violation = halt_on_violation
+        self.initial_mode = initial_mode
+        self.violations: List[str] = []
+        self.events_checked = 0
+        self._clients: Dict[object, _ClientState] = {}
+        self._handlers: Dict[str, Callable[[_ClientState, TraceEvent], None]] = {
+            "request_sent": self._on_request_sent,
+            "fetch_read": self._on_fetch_read,
+            "remainder_read": self._on_remainder_read,
+            "fetch_success": self._on_fetch_success,
+            "mode_switch": self._on_mode_switch,
+            "flag_published": self._on_flag_published,
+            "reply_received": self._on_reply_received,
+            "call_done": self._on_call_done,
+            "response_published": self._on_response_published,
+            "reply_pushed": self._on_reply_pushed,
+            "mode_flag": self._on_mode_flag,
+        }
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+
+    def attach(self, tracer: Tracer) -> "RfpInvariantChecker":
+        """Subscribe to ``tracer``; returns self for chaining."""
+        tracer.subscribe(self.observe)
+        return self
+
+    def observe(self, event: TraceEvent) -> None:
+        """Tracer observer entry point; dispatches one protocol event."""
+        if event.category not in ("rfp.client", "rfp.server"):
+            return
+        handler = self._handlers.get(event.label)
+        if handler is None:
+            return
+        key = (
+            event.data.get("channel")
+            if event.category == "rfp.client"
+            else event.data.get("client")
+        )
+        if key is None:
+            return
+        state = self._clients.get(key)
+        if state is None:
+            state = self._clients[key] = _ClientState(
+                mode=self.initial_mode, server_mode=self.initial_mode
+            )
+        self.events_checked += 1
+        handler(state, event)
+
+    def _violate(self, event: TraceEvent, message: str) -> None:
+        record = f"t={event.at_us:.3f} [{event.label}] {message}"
+        self.violations.append(record)
+        if self.halt_on_violation:
+            raise InvariantViolation(record)
+
+    # ------------------------------------------------------------------
+    # Client-side events
+    # ------------------------------------------------------------------
+
+    def _on_request_sent(self, state: _ClientState, event: TraceEvent) -> None:
+        seq = event.data["seq"]
+        if state.inflight_seq is not None:
+            self._violate(
+                event,
+                f"request seq={seq} sent while seq={state.inflight_seq} "
+                "is still in flight",
+            )
+        state.inflight_seq = seq
+        state.fetch_reads = 0
+        state.requests_sent += 1
+
+    def _on_fetch_read(self, state: _ClientState, event: TraceEvent) -> None:
+        seq, size = event.data["seq"], event.data["bytes"]
+        if state.mode is not Mode.REMOTE_FETCH:
+            self._violate(
+                event, f"remote fetch issued while in {state.mode.name} mode"
+            )
+        if seq != state.inflight_seq:
+            self._violate(
+                event,
+                f"fetch for seq={seq} but in-flight call is "
+                f"seq={state.inflight_seq}",
+            )
+        if size != self.config.fetch_size:
+            self._violate(
+                event,
+                f"fetch read of {size} B violates the F={self.config.fetch_size} "
+                "B fetch-size bound",
+            )
+        state.fetch_reads += 1
+        state.fetch_reads_total += 1
+        attempt = event.data.get("attempt")
+        if attempt is not None and attempt != state.fetch_reads:
+            self._violate(
+                event,
+                f"fetch attempt numbered {attempt}, observed "
+                f"{state.fetch_reads} reads this call",
+            )
+
+    def _on_remainder_read(self, state: _ClientState, event: TraceEvent) -> None:
+        size = event.data["bytes"]
+        upper = self.config.response_buffer_bytes - self.config.fetch_size
+        if not 0 < size <= upper:
+            self._violate(
+                event,
+                f"remainder read of {size} B outside (0, {upper}] "
+                "(response buffer minus F)",
+            )
+        state.remainder_reads_total += 1
+
+    def _on_fetch_success(self, state: _ClientState, event: TraceEvent) -> None:
+        seq = event.data["seq"]
+        if state.published_seq != seq:
+            self._violate(
+                event,
+                f"client committed fetched response for seq={seq} before the "
+                "server published it (result-ready ordering; last published: "
+                f"seq={state.published_seq})",
+            )
+        attempts = event.data.get("attempts")
+        if attempts is not None and attempts != state.fetch_reads:
+            self._violate(
+                event,
+                f"call reported {attempts} fetch attempts, checker observed "
+                f"{state.fetch_reads}",
+            )
+        failed = state.fetch_reads - 1
+        if failed >= self.config.retry_bound:
+            state.slow_streak += 1
+        else:
+            state.slow_streak = 0
+
+    def _on_mode_switch(self, state: _ClientState, event: TraceEvent) -> None:
+        target = event.data.get("to")
+        if target == Mode.SERVER_REPLY.name:
+            if state.mode is not Mode.REMOTE_FETCH:
+                self._violate(
+                    event,
+                    f"switch to SERVER_REPLY from {state.mode.name} "
+                    "(legal only from REMOTE_FETCH)",
+                )
+            if state.fetch_reads < self.config.retry_bound:
+                self._violate(
+                    event,
+                    f"switched to SERVER_REPLY after only {state.fetch_reads} "
+                    f"failed fetches (retry bound R={self.config.retry_bound})",
+                )
+            if state.slow_streak + 1 < self.config.consecutive_slow_calls:
+                self._violate(
+                    event,
+                    f"switched to SERVER_REPLY on slow-call streak "
+                    f"{state.slow_streak + 1} < "
+                    f"{self.config.consecutive_slow_calls}",
+                )
+            state.mode = Mode.SERVER_REPLY
+            state.slow_streak = 0
+        elif target == Mode.REMOTE_FETCH.name:
+            if state.mode is not Mode.SERVER_REPLY:
+                self._violate(
+                    event,
+                    f"switch to REMOTE_FETCH from {state.mode.name} "
+                    "(legal only from SERVER_REPLY)",
+                )
+            threshold = self.config.switch_back_process_time_us
+            if state.published_time_us >= threshold:
+                self._violate(
+                    event,
+                    "switched back to REMOTE_FETCH although the last response "
+                    f"took {state.published_time_us:.3f} µs "
+                    f"(threshold {threshold} µs)",
+                )
+            state.mode = Mode.REMOTE_FETCH
+        else:
+            self._violate(event, f"unknown mode-switch target {target!r}")
+
+    def _on_flag_published(self, state: _ClientState, event: TraceEvent) -> None:
+        flagged = event.data.get("mode")
+        state.flags_published += 1
+        if flagged != state.mode.name:
+            self._violate(
+                event,
+                f"mode flag announces {flagged} but the client decided "
+                f"{state.mode.name}",
+            )
+
+    def _on_reply_received(self, state: _ClientState, event: TraceEvent) -> None:
+        seq, size = event.data["seq"], event.data["bytes"]
+        if state.published_seq != seq:
+            self._violate(
+                event,
+                f"client accepted a reply for seq={seq}; server's latest "
+                f"published response is seq={state.published_seq}",
+            )
+        elif size != state.published_size:
+            self._violate(
+                event,
+                f"reply for seq={seq} carried {size} B, server published "
+                f"{state.published_size} B",
+            )
+        if state.pushed_seq != seq:
+            self._violate(
+                event,
+                f"client received a reply for seq={seq} the server never "
+                f"pushed (last push: seq={state.pushed_seq})",
+            )
+
+    def _on_call_done(self, state: _ClientState, event: TraceEvent) -> None:
+        seq = event.data["seq"]
+        if seq != state.inflight_seq:
+            self._violate(
+                event,
+                f"call_done for seq={seq}, in-flight call is "
+                f"seq={state.inflight_seq}",
+            )
+        state.inflight_seq = None
+
+    # ------------------------------------------------------------------
+    # Server-side events
+    # ------------------------------------------------------------------
+
+    def _on_response_published(
+        self, state: _ClientState, event: TraceEvent
+    ) -> None:
+        seq = event.data["seq"]
+        expected = (state.published_seq or 0) + 1
+        if seq != expected:
+            self._violate(
+                event,
+                f"server published response seq={seq}, expected {expected} "
+                "(responses must be per-client monotonic)",
+            )
+        state.published_seq = seq
+        state.published_size = event.data["bytes"]
+        state.published_time_us = event.data.get("response_time_us", 0.0)
+
+    def _on_reply_pushed(self, state: _ClientState, event: TraceEvent) -> None:
+        seq, size = event.data["seq"], event.data["bytes"]
+        if state.server_mode is not Mode.SERVER_REPLY:
+            self._violate(
+                event,
+                f"server pushed a reply (seq={seq}) to a client whose flag "
+                f"says {state.server_mode.name} — remote-fetch clients must "
+                "see a server that sends nothing",
+            )
+        if seq != state.published_seq:
+            self._violate(
+                event,
+                f"server pushed seq={seq} but last published is "
+                f"seq={state.published_seq}",
+            )
+        elif size != state.published_size + RESPONSE_HEADER_BYTES:
+            self._violate(
+                event,
+                f"pushed reply of {size} B != published payload "
+                f"{state.published_size} B + {RESPONSE_HEADER_BYTES} B header",
+            )
+        state.pushed_seq = seq
+        state.replies_pushed += 1
+
+    def _on_mode_flag(self, state: _ClientState, event: TraceEvent) -> None:
+        flagged = event.data.get("mode")
+        if flagged == state.server_mode.name:
+            self._violate(
+                event,
+                f"mode flag write repeats the current server-side mode "
+                f"{flagged} (flags must alternate)",
+            )
+        state.server_mode = (
+            Mode.SERVER_REPLY
+            if flagged == Mode.SERVER_REPLY.name
+            else Mode.REMOTE_FETCH
+        )
+
+    # ------------------------------------------------------------------
+    # Post-run checks
+    # ------------------------------------------------------------------
+
+    def check_nic_accounting(
+        self,
+        server: object,
+        expect_inbound_only: bool = False,
+        strict_inbound: bool = True,
+    ) -> None:
+        """Compare the server NIC's op counters with the traced protocol.
+
+        ``expect_inbound_only`` asserts the paradigm's headline claim —
+        while every client remote-fetches, the server NIC issues nothing.
+        ``strict_inbound`` additionally requires the in-bound op count to
+        match the traced client activity exactly; disable it when
+        untraced clients share the server.
+        """
+        nic = server.machine.rnic  # type: ignore[attr-defined]
+        pushed = sum(s.replies_pushed for s in self._clients.values())
+        if nic.outbound_ops != pushed:
+            self.violations.append(
+                f"NIC accounting: server NIC issued {nic.outbound_ops} "
+                f"out-bound ops, trace shows {pushed} pushed replies"
+            )
+        if expect_inbound_only and nic.outbound_ops != 0:
+            self.violations.append(
+                f"NIC accounting: expected an in-bound-only server NIC, "
+                f"found {nic.outbound_ops} out-bound ops"
+            )
+        if strict_inbound:
+            expected_in = sum(
+                s.requests_sent
+                + s.fetch_reads_total
+                + s.remainder_reads_total
+                + s.flags_published
+                for s in self._clients.values()
+            )
+            if nic.inbound_ops != expected_in:
+                self.violations.append(
+                    f"NIC accounting: server NIC served {nic.inbound_ops} "
+                    f"in-bound ops, trace accounts for {expected_in} "
+                    "(requests + fetches + remainders + flag writes)"
+                )
+        if self.halt_on_violation and self.violations:
+            raise InvariantViolation(self.violations[-1])
+
+    def assert_clean(self) -> None:
+        """Raise :class:`InvariantViolation` if anything was recorded."""
+        if self.violations:
+            summary = "\n  ".join(self.violations)
+            raise InvariantViolation(
+                f"{len(self.violations)} RFP invariant violation(s):\n  {summary}"
+            )
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RfpInvariantChecker(clients={len(self._clients)}, "
+            f"events={self.events_checked}, violations={len(self.violations)})"
+        )

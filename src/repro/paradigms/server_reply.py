@@ -48,9 +48,17 @@ class ServerReplyServer(RfpServer):
         threads: int = 6,
         config: Optional[RfpConfig] = None,
         name: str = "server-reply",
+        tracer=None,
     ) -> None:
         super().__init__(
-            sim, cluster, machine, handler, threads, _pinned_config(config), name
+            sim,
+            cluster,
+            machine,
+            handler,
+            threads,
+            _pinned_config(config),
+            name,
+            tracer=tracer,
         )
 
     def accept(
@@ -76,6 +84,7 @@ class ServerReplyClient(RfpClient):
         name: str = "",
         thread_id: Optional[int] = None,
         register_issuer: bool = True,
+        tracer=None,
     ) -> None:
         super().__init__(
             sim,
@@ -85,5 +94,6 @@ class ServerReplyClient(RfpClient):
             name=name or "reply-client",
             thread_id=thread_id,
             register_issuer=register_issuer,
+            tracer=tracer,
         )
         self.policy.mode = Mode.SERVER_REPLY

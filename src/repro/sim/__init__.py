@@ -25,7 +25,7 @@ from repro.sim.core import (
     Simulator,
 )
 from repro.sim.monitor import Counter, Tally, ThroughputMeter, UtilizationMeter
-from repro.sim.random import RandomStreams
+from repro.sim.random import RandomStreams, seeded_rng, stable_hash
 from repro.sim.resources import Resource, ServiceStation, Store
 from repro.sim.trace import TraceEvent, Tracer
 
@@ -46,4 +46,6 @@ __all__ = [
     "TraceEvent",
     "Tracer",
     "UtilizationMeter",
+    "seeded_rng",
+    "stable_hash",
 ]

@@ -18,7 +18,7 @@ Time is a ``float`` in microseconds by project convention.
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Generator, Iterable, List, Optional
+from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple, Union
 
 __all__ = [
     "SimulationError",
@@ -51,7 +51,7 @@ class Simulator:
 
     def __init__(self) -> None:
         self._now = 0.0
-        self._heap: List[tuple] = []
+        self._heap: List[Tuple[float, int, Callable[..., Any], Tuple[Any, ...]]] = []
         self._seq = 0
         self._running = False
 
@@ -64,7 +64,7 @@ class Simulator:
     # Scheduling primitives
     # ------------------------------------------------------------------
 
-    def schedule(self, delay: float, fn: Callable, *args: Any) -> None:
+    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> None:
         """Run ``fn(*args)`` after ``delay`` time units."""
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
@@ -81,7 +81,9 @@ class Simulator:
         """Return a fresh, untriggered event."""
         return Event(self)
 
-    def process(self, generator: Generator, name: str = "") -> "Process":
+    def process(
+        self, generator: Generator[Any, Any, Any], name: str = ""
+    ) -> "Process":
         """Start a new process running ``generator``."""
         return Process(self, generator, name=name)
 
@@ -163,7 +165,7 @@ class Event:
         self._done = True
         self._value = value
         callbacks, self._callbacks = self._callbacks, None
-        for callback in callbacks:
+        for callback in callbacks or ():
             self.sim.schedule(0.0, callback, self)
         return self
 
@@ -191,6 +193,7 @@ class Event:
                 self._defused = True
             self.sim.schedule(0.0, callback, self)
         else:
+            assert self._callbacks is not None  # pending => list is live
             self._callbacks.append(callback)
 
     def _check_defused(self) -> None:
@@ -213,7 +216,12 @@ class Process:
 
     __slots__ = ("sim", "name", "_gen", "done")
 
-    def __init__(self, sim: Simulator, generator: Generator, name: str = "") -> None:
+    def __init__(
+        self,
+        sim: Simulator,
+        generator: Generator[Any, Any, Any],
+        name: str = "",
+    ) -> None:
         if not hasattr(generator, "send"):
             raise SimulationError(
                 f"process body must be a generator, got {type(generator).__name__}"
@@ -269,7 +277,7 @@ class Process:
             )
 
 
-def AnyOf(sim: Simulator, waitables: Iterable) -> Event:
+def AnyOf(sim: Simulator, waitables: Iterable[Union["Event", "Process"]]) -> Event:
     """Event that triggers when the *first* of ``waitables`` completes.
 
     The trigger value is ``(index, value)`` of the first completion.  If the
@@ -298,7 +306,7 @@ def AnyOf(sim: Simulator, waitables: Iterable) -> Event:
     return composite
 
 
-def AllOf(sim: Simulator, waitables: Iterable) -> Event:
+def AllOf(sim: Simulator, waitables: Iterable[Union["Event", "Process"]]) -> Event:
     """Event that triggers when *all* ``waitables`` complete.
 
     The trigger value is the list of values in input order.  The first

@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
+from numpy.typing import NDArray
 
 __all__ = ["Counter", "Tally", "ThroughputMeter", "UtilizationMeter"]
 
@@ -74,7 +75,9 @@ class Tally:
             raise ValueError(f"tally {self.name!r} has no samples")
         return float(np.percentile(self._samples, p))
 
-    def cdf(self, points: int = 100) -> Tuple[np.ndarray, np.ndarray]:
+    def cdf(
+        self, points: int = 100
+    ) -> Tuple[NDArray[np.float64], NDArray[np.float64]]:
         """Return ``(values, cumulative_probability)`` for CDF plots."""
         if not self._samples:
             raise ValueError(f"tally {self.name!r} has no samples")
@@ -85,7 +88,7 @@ class Tally:
             values, probs = values[idx], probs[idx]
         return values, probs
 
-    def histogram(self, bins: Sequence[float]) -> np.ndarray:
+    def histogram(self, bins: Sequence[float]) -> NDArray[np.intp]:
         counts, _ = np.histogram(self._samples, bins=np.asarray(bins, dtype=float))
         return counts
 

@@ -15,12 +15,23 @@ from typing import Dict
 
 import numpy as np
 
-__all__ = ["RandomStreams", "stable_hash"]
+__all__ = ["RandomStreams", "stable_hash", "seeded_rng"]
 
 
 def stable_hash(name: str) -> int:
     """A process-independent 32-bit hash of ``name`` (unlike ``hash()``)."""
     return zlib.crc32(name.encode("utf-8")) & 0xFFFFFFFF
+
+
+def seeded_rng(seed: int) -> np.random.Generator:
+    """An explicitly seeded PCG64 generator — the only sanctioned way to
+    construct a standalone generator outside :class:`RandomStreams`.
+
+    Bit-identical to ``np.random.default_rng(seed)``, but importable only
+    from here so the determinism lint (rule ``no-global-random``) can
+    guarantee no component ever draws from unseeded or global RNG state.
+    """
+    return np.random.Generator(np.random.PCG64(seed))
 
 
 class RandomStreams:

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import heapq
 from collections import deque
-from typing import Any, Deque, List
+from typing import Any, Deque, List, Optional
 
 from repro.sim.core import Event, SimulationError, Simulator
 
@@ -154,7 +154,7 @@ class ServiceStation:
         """Time until the earliest server becomes free (0 if idle)."""
         return max(0.0, min(self._free_at) - self.sim.now)
 
-    def utilization(self, elapsed: float = None) -> float:
+    def utilization(self, elapsed: Optional[float] = None) -> float:
         """Fraction of server-time spent busy over ``elapsed`` (or sim.now)."""
         window = self.sim.now if elapsed is None else elapsed
         if window <= 0:

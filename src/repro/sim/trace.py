@@ -13,9 +13,20 @@ from __future__ import annotations
 
 from collections import Counter as TallyCounter
 from collections import deque
-from typing import Deque, Dict, Iterable, List, NamedTuple, Optional, Set
+from typing import (
+    Any,
+    Callable,
+    Deque,
+    Dict,
+    Iterable,
+    List,
+    NamedTuple,
+    Optional,
+    Set,
+)
 
 from repro.errors import ReproError
+from repro.sim.core import Simulator
 
 __all__ = ["TraceEvent", "Tracer"]
 
@@ -26,7 +37,7 @@ class TraceEvent(NamedTuple):
     at_us: float
     category: str
     label: str
-    data: dict
+    data: Dict[str, Any]
 
 
 class Tracer:
@@ -45,7 +56,7 @@ class Tracer:
 
     def __init__(
         self,
-        sim,
+        sim: Simulator,
         categories: Optional[Iterable[str]] = None,
         capacity: Optional[int] = None,
     ) -> None:
@@ -56,17 +67,33 @@ class Tracer:
             set(categories) if categories is not None else None
         )
         self._events: Deque[TraceEvent] = deque(maxlen=capacity)
-        self._counts: TallyCounter = TallyCounter()
+        self._counts: TallyCounter[str] = TallyCounter()
+        self._observers: List[Callable[[TraceEvent], None]] = []
 
     def wants(self, category: str) -> bool:
         """True when this tracer records ``category`` (hot-path guard)."""
         return self._categories is None or category in self._categories
 
-    def record(self, category: str, label: str, **data) -> None:
+    def subscribe(self, observer: Callable[[TraceEvent], None]) -> None:
+        """Register a live observer (e.g. an invariant checker).
+
+        Observers see every event offered to :meth:`record` — before the
+        category filter and unaffected by ring-buffer eviction — so a
+        checker never misses a protocol step just because the stored
+        trace is trimmed.
+        """
+        self._observers.append(observer)
+
+    def record(self, category: str, label: str, **data: Any) -> None:
         """Record one event at the current simulated time."""
+        if not self._observers and not self.wants(category):
+            return
+        event = TraceEvent(self.sim.now, category, label, data)
+        for observer in self._observers:
+            observer(event)
         if not self.wants(category):
             return
-        self._events.append(TraceEvent(self.sim.now, category, label, data))
+        self._events.append(event)
         self._counts[category] += 1
 
     # ------------------------------------------------------------------
@@ -98,7 +125,7 @@ class Tracer:
     def format_lines(self, limit: int = 50) -> List[str]:
         """Human-readable tail of the trace."""
         tail = list(self._events)[-limit:]
-        lines = []
+        lines: List[str] = []
         for event in tail:
             details = " ".join(f"{k}={v}" for k, v in sorted(event.data.items()))
             lines.append(

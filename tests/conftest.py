@@ -1,0 +1,49 @@
+"""Shared pytest wiring for the suite.
+
+``--rfp-invariants`` opts every test that uses the ``rfp_invariants``
+fixture into runtime protocol checking: the fixture attaches an
+:class:`repro.lint.invariants.RfpInvariantChecker` to the test's tracer
+and asserts it clean at teardown.  Without the flag the fixture is a
+no-op (it returns ``None``), so instrumented tests cost nothing in the
+default run.
+"""
+
+import pytest
+
+from repro.lint.invariants import RfpInvariantChecker
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--rfp-invariants",
+        action="store_true",
+        default=False,
+        help=(
+            "Attach the RFP protocol invariant checker to simulations "
+            "instrumented through the rfp_invariants fixture and fail the "
+            "test on any protocol violation."
+        ),
+    )
+
+
+@pytest.fixture
+def rfp_invariants(request):
+    """Factory fixture: ``attach(tracer, **checker_kwargs) -> checker|None``.
+
+    Returns ``None`` when the session runs without ``--rfp-invariants``,
+    so tests can call it unconditionally.  Every checker attached through
+    the factory is asserted clean when the test finishes.
+    """
+    enabled = request.config.getoption("--rfp-invariants")
+    checkers = []
+
+    def attach(tracer, **kwargs):
+        if not enabled:
+            return None
+        checker = RfpInvariantChecker(**kwargs).attach(tracer)
+        checkers.append(checker)
+        return checker
+
+    yield attach
+    for checker in checkers:
+        checker.assert_clean()

@@ -1,0 +1,11 @@
+"""Lint fixture: exact float comparisons (no-float-eq)."""
+
+
+def is_settled(latency_us, deadline):
+    if latency_us == 0.25:  # line 5: ==/!= against a float literal
+        return True
+    return latency_us != deadline  # line 7: timey operand with !=
+
+
+def near_zero(delay):
+    return delay == -0.0  # line 11: signed float literal

@@ -1,0 +1,13 @@
+"""Lint fixture: global RNG state (no-global-random)."""
+
+import random  # line 3: global random module
+
+import numpy as np
+
+
+def draw():
+    return np.random.randint(0, 10)  # line 9: numpy hidden global state
+
+
+def make_rng():
+    return np.random.default_rng(7)  # line 13: ad-hoc generator

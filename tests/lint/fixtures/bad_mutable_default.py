@@ -1,0 +1,10 @@
+"""Lint fixture: mutable default arguments (no-mutable-default)."""
+
+
+def append_sample(sample, samples=[]):  # line 4: list display default
+    samples.append(sample)
+    return samples
+
+
+def tally(counts={}, *, labels=set()):  # line 9: dict display + set() call
+    return counts, labels

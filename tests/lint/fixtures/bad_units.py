@@ -1,0 +1,13 @@
+"""Lint fixture: mixed unit suffixes in one signature (units-discipline)."""
+
+
+def delay_ms(wait_us):  # line 4: mixes ms and us
+    return wait_us / 1000.0
+
+
+def copy_chunk(size_bytes, chunk_kb):  # line 8: mixes bytes and kb
+    return size_bytes + chunk_kb * 1024
+
+
+def fine_signature(delay_us, size_bytes):  # one unit per dimension: clean
+    return delay_us, size_bytes

@@ -1,0 +1,17 @@
+"""Lint fixture: wall-clock reads in model code (no-wall-clock)."""
+
+import datetime
+import time
+from time import perf_counter  # line 5: banned from-import
+
+
+def stamp():
+    return time.time()  # line 9: banned call
+
+
+def when():
+    return datetime.datetime.now()  # line 13: banned call
+
+
+def spin():
+    return perf_counter()  # not flagged: bare-name calls are the import's fault

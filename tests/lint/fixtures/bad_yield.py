@@ -1,0 +1,13 @@
+"""Lint fixture: a simulator process yielding plain values (sim-yield-only)."""
+
+
+def bad_process(sim, station):
+    yield station.submit(1.0)  # fine: ServiceStation.submit returns an Event
+    yield 42  # line 6: plain constant yielded by a sim process
+
+
+def data_generator(samples):
+    # Not a sim process (never yields an event-producing call): data
+    # generators may yield plain values freely.
+    for sample in samples:
+        yield sample * 2

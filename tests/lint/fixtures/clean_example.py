@@ -1,0 +1,17 @@
+"""Lint fixture: a well-behaved simulated component (no violations)."""
+
+
+def service_loop(sim, station, samples_us):
+    for sample_us in samples_us:
+        yield station.submit(sample_us)
+
+
+def near(a_us, b_us, tol_us=1e-9):
+    return abs(a_us - b_us) <= tol_us
+
+
+def chunked(payload, chunk_bytes=256):
+    return [
+        payload[offset : offset + chunk_bytes]
+        for offset in range(0, len(payload), chunk_bytes)
+    ]

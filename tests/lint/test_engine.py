@@ -1,0 +1,129 @@
+"""Engine behaviour: pragmas, discovery, sorting, and the CLI."""
+
+import os
+import subprocess
+import sys
+
+from repro.lint import lint_paths, lint_source
+from repro.lint.engine import iter_python_files
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+FIXTURES = os.path.join(HERE, "fixtures")
+REPO_ROOT = os.path.dirname(os.path.dirname(HERE))
+
+BAD_CALL = "import time\n\n\ndef stamp():\n    return time.time()\n"
+
+
+class TestPragmas:
+    def test_named_disable_suppresses_that_rule(self):
+        source = BAD_CALL.replace(
+            "time.time()", "time.time()  # lint: disable=no-wall-clock"
+        )
+        assert lint_source(source) == []
+
+    def test_named_disable_leaves_other_rules_alone(self):
+        source = (
+            "import time\n"
+            "\n"
+            "\n"
+            "def f(samples=[]):  # lint: disable=no-wall-clock\n"
+            "    return time.time(), samples\n"
+        )
+        violations = lint_source(source)
+        assert [v.rule for v in violations] == [
+            "no-mutable-default",
+            "no-wall-clock",
+        ]
+
+    def test_bare_disable_suppresses_everything_on_the_line(self):
+        source = (
+            "import time\n"
+            "\n"
+            "\n"
+            "def f(samples=[]):  # lint: disable\n"
+            "    return samples\n"
+        )
+        assert lint_source(source) == []
+
+    def test_skip_file_within_first_five_lines(self):
+        source = "# lint: skip-file\n" + BAD_CALL
+        assert lint_source(source) == []
+
+    def test_skip_file_after_line_five_does_not_count(self):
+        source = "\n\n\n\n\n# lint: skip-file\n" + BAD_CALL
+        assert len(lint_source(source)) == 1
+
+
+class TestEngineEdges:
+    def test_syntax_error_is_reported_not_raised(self):
+        (violation,) = lint_source("def broken(:\n", path="x.py")
+        assert violation.rule == "syntax-error"
+        assert violation.path == "x.py"
+
+    def test_violation_format_is_grep_friendly(self):
+        (violation,) = lint_source(BAD_CALL, path="pkg/mod.py")
+        line = violation.format()
+        assert line.startswith("pkg/mod.py:5:")
+        assert "[no-wall-clock]" in line
+
+    def test_results_are_sorted_and_deterministic(self):
+        first = lint_paths([FIXTURES])
+        second = lint_paths([FIXTURES])
+        assert first == second
+        keys = [(v.path, v.line, v.col, v.rule) for v in first]
+        assert keys == sorted(keys)
+
+
+class TestDiscovery:
+    def test_walk_finds_fixture_files_sorted(self):
+        names = [os.path.basename(p) for p in iter_python_files([FIXTURES])]
+        assert names == sorted(names)
+        assert "bad_wall_clock.py" in names
+        assert "clean_example.py" in names
+
+    def test_direct_file_path_passes_through(self):
+        target = os.path.join(FIXTURES, "bad_units.py")
+        assert list(iter_python_files([target])) == [target]
+
+    def test_non_python_files_are_ignored(self):
+        readme = os.path.join(REPO_ROOT, "README.md")
+        assert list(iter_python_files([readme])) == []
+
+
+class TestCli:
+    def run_cli(self, *args):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+        return subprocess.run(
+            [sys.executable, "-m", "repro.lint", *args],
+            capture_output=True,
+            text=True,
+            env=env,
+            cwd=REPO_ROOT,
+        )
+
+    def test_violations_exit_1_and_print_positions(self):
+        result = self.run_cli(os.path.join(FIXTURES, "bad_units.py"))
+        assert result.returncode == 1
+        assert "units-discipline" in result.stdout
+
+    def test_clean_file_exits_0(self):
+        result = self.run_cli(os.path.join(FIXTURES, "clean_example.py"))
+        assert result.returncode == 0, result.stdout + result.stderr
+
+    def test_list_rules(self):
+        result = self.run_cli("--list-rules")
+        assert result.returncode == 0
+        for name in ("no-wall-clock", "sim-yield-only"):
+            assert name in result.stdout
+
+    def test_missing_path_is_a_usage_error(self):
+        result = self.run_cli("does/not/exist")
+        assert result.returncode == 2
+        assert "no such path" in result.stderr
+
+    def test_select_restricts_rules(self):
+        result = self.run_cli(
+            "--select", "no-mutable-default", os.path.join(FIXTURES, "bad_units.py")
+        )
+        assert result.returncode == 0, result.stdout + result.stderr

@@ -1,0 +1,118 @@
+"""One test class per lint rule, driven by the fixture files."""
+
+import os
+
+from repro.lint import lint_file, lint_source
+from repro.lint.rules import ALL_RULES, rule_names
+
+FIXTURES = os.path.join(os.path.dirname(os.path.abspath(__file__)), "fixtures")
+
+
+def lint_fixture(filename, rule_name):
+    rules = [rule for rule in ALL_RULES if rule.name == rule_name]
+    assert rules, f"unknown rule {rule_name}"
+    return lint_file(os.path.join(FIXTURES, filename), rules=rules)
+
+
+def lint_with(source, rule_name, path="model/component.py"):
+    rules = [rule for rule in ALL_RULES if rule.name == rule_name]
+    return lint_source(source, path=path, rules=rules)
+
+
+class TestNoWallClock:
+    def test_fixture_violations(self):
+        violations = lint_fixture("bad_wall_clock.py", "no-wall-clock")
+        assert [v.line for v in violations] == [5, 9, 13]
+        assert all(v.rule == "no-wall-clock" for v in violations)
+        assert "time.time" in violations[1].message
+
+    def test_sim_code_is_exempt(self):
+        source = "import time\n\ndef tick():\n    return time.time()\n"
+        assert lint_with(source, "no-wall-clock", path="src/repro/sim/clock.py") == []
+        assert len(lint_with(source, "no-wall-clock", path="src/repro/hw/x.py")) == 1
+
+
+class TestNoGlobalRandom:
+    def test_fixture_violations(self):
+        violations = lint_fixture("bad_global_random.py", "no-global-random")
+        assert [v.line for v in violations] == [3, 9, 13]
+        assert "repro.sim.random" in violations[0].message
+
+    def test_default_rng_allowed_inside_sim(self):
+        source = "import numpy as np\nrng = np.random.default_rng(0)\n"
+        assert lint_with(source, "no-global-random", path="src/repro/sim/random.py") == []
+        assert len(lint_with(source, "no-global-random")) == 1
+
+    def test_seeded_stream_calls_are_clean(self):
+        source = (
+            "from repro.sim.random import seeded_rng\n"
+            "rng = seeded_rng(7)\nx = rng.random()\n"
+        )
+        assert lint_with(source, "no-global-random") == []
+
+
+class TestNoFloatEq:
+    def test_fixture_violations(self):
+        violations = lint_fixture("bad_float_eq.py", "no-float-eq")
+        assert [v.line for v in violations] == [5, 7, 11]
+
+    def test_timey_attribute_access_flagged(self):
+        source = "def check(event, cutoff):\n    return event.at_us == cutoff\n"
+        (violation,) = lint_with(source, "no-float-eq")
+        assert "time-valued" in violation.message
+
+    def test_ordering_comparisons_are_fine(self):
+        source = "def check(latency_us, bound_us):\n    return latency_us <= bound_us\n"
+        assert lint_with(source, "no-float-eq") == []
+
+    def test_int_literal_comparison_is_fine(self):
+        source = "def check(count):\n    return count == 3\n"
+        assert lint_with(source, "no-float-eq") == []
+
+
+class TestUnitsDiscipline:
+    def test_fixture_violations(self):
+        violations = lint_fixture("bad_units.py", "units-discipline")
+        assert [v.line for v in violations] == [4, 8]
+        assert "time" in violations[0].message
+        assert "size" in violations[1].message
+
+    def test_single_unit_per_dimension_is_fine(self):
+        source = "def move(delay_us, size_bytes, other_bytes):\n    pass\n"
+        assert lint_with(source, "units-discipline") == []
+
+
+class TestNoMutableDefault:
+    def test_fixture_violations(self):
+        violations = lint_fixture("bad_mutable_default.py", "no-mutable-default")
+        assert [v.line for v in violations] == [4, 9, 9]
+
+    def test_none_default_is_fine(self):
+        source = "def f(samples=None):\n    samples = samples or []\n"
+        assert lint_with(source, "no-mutable-default") == []
+
+
+class TestSimYieldOnly:
+    def test_fixture_violations(self):
+        (violation,) = lint_fixture("bad_yield.py", "sim-yield-only")
+        assert violation.line == 6
+        assert "bad_process" in violation.message
+
+    def test_data_generators_are_not_processes(self):
+        source = "def gen(items):\n    for item in items:\n        yield item\n"
+        assert lint_with(source, "sim-yield-only") == []
+
+    def test_yield_from_helpers_are_fine(self):
+        source = (
+            "def body(sim, client):\n"
+            "    response = yield from client.call(b'x')\n"
+            "    yield sim.timeout(1.0)\n"
+            "    return response\n"
+        )
+        assert lint_with(source, "sim-yield-only") == []
+
+
+class TestCleanFixture:
+    def test_clean_file_passes_every_rule(self):
+        for name in rule_names():
+            assert lint_fixture("clean_example.py", name) == []

@@ -90,6 +90,7 @@ class TestRfpInstrumentation:
         labels = [e.label for e in tracer.events()]
         assert labels == [
             "request_sent",
+            "fetch_read",
             "response_published",
             "fetch_success",
             "call_done",

@@ -1,0 +1,23 @@
+"""Tier-1 gate: the shipped tree must be lint-clean.
+
+Runs the determinism lint in-process (no subprocess) over ``src`` and
+``benchmarks`` so a violating commit fails the plain test suite, not
+just an optional CI step.
+"""
+
+import os
+
+from repro.lint import lint_paths
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def test_src_and_benchmarks_are_lint_clean():
+    targets = [os.path.join(REPO_ROOT, "src")]
+    benchmarks = os.path.join(REPO_ROOT, "benchmarks")
+    if os.path.isdir(benchmarks):
+        targets.append(benchmarks)
+    violations = lint_paths(targets)
+    assert violations == [], "determinism lint found violations:\n" + "\n".join(
+        v.format() for v in violations
+    )
