@@ -116,13 +116,19 @@ class StatsService:
         transport: str = "rfp",
         config: Optional[RfpConfig] = None,
         name: str = "stats",
+        tracer=None,
     ) -> None:
+        """``tracer`` (a :class:`repro.sim.Tracer`) is forwarded to the
+        server and — by default — every connected client, exactly as in
+        :class:`~repro.kv.jakiro.Jakiro`, so one invariant checker can
+        audit a whole stats run on either transport."""
         if transport not in ("rfp", "serverreply"):
             raise ProtocolError(f"unknown transport {transport!r}")
         self.sim = sim
         self.cluster = cluster
         self.transport = transport
         self.threads = threads
+        self.tracer = tracer
         self._partitions: Dict[int, Dict[bytes, _Accumulator]] = {
             t: {} for t in range(threads)
         }
@@ -139,6 +145,7 @@ class StatsService:
             threads,
             config,
             name,
+            tracer=tracer,
         )
 
     @staticmethod
@@ -147,8 +154,10 @@ class StatsService:
 
         return key_hash(metric) % threads
 
-    def connect(self, machine: Machine, name: str = "") -> "StatsClient":
-        return StatsClient(self.sim, machine, self, name=name)
+    def connect(
+        self, machine: Machine, name: str = "", tracer=None
+    ) -> "StatsClient":
+        return StatsClient(self.sim, machine, self, name=name, tracer=tracer)
 
     # ------------------------------------------------------------------
     # Handlers (pure application logic; no transport awareness)
@@ -191,11 +200,20 @@ class StatsClient:
     """The client stub; routes each metric to its owning server thread."""
 
     def __init__(
-        self, sim: Simulator, machine: Machine, service: StatsService, name: str = ""
+        self,
+        sim: Simulator,
+        machine: Machine,
+        service: StatsService,
+        name: str = "",
+        tracer=None,
     ) -> None:
+        """``tracer`` defaults to the service-side tracer, so one tracer
+        sees both halves of the protocol."""
         self.sim = sim
         self.service = service
         self.name = name or f"stats-client@{machine.name}"
+        if tracer is None:
+            tracer = service.tracer
         machine.rnic.register_issuer()
         client_class = (
             RfpClient if service.transport == "rfp" else ServerReplyClient
@@ -209,6 +227,7 @@ class StatsClient:
                     name=f"{self.name}.p{thread_id}",
                     thread_id=thread_id,
                     register_issuer=False,
+                    tracer=tracer,
                 )
             )
             for thread_id in range(service.threads)

@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict
 
-from repro.bench import extensions, figures
+from repro.bench import cluster_runs, extensions, figures
 from repro.bench.figures import ExperimentResult
 
 
@@ -59,6 +59,16 @@ def _register() -> Dict[str, Experiment]:
             "ext-multiserver",
             "Extension: Jakiro sharded across servers (§4.5)",
             extensions.run_ext_multiserver,
+        ),
+        (
+            "ext-cluster-scaling",
+            "Cluster: aggregate throughput vs shard count (1-6)",
+            cluster_runs.run_ext_cluster_scaling,
+        ),
+        (
+            "ext-cluster-failover",
+            "Cluster: throughput through a single-shard crash (RF=2)",
+            cluster_runs.run_ext_cluster_failover,
         ),
         (
             "ext-ud-rpc",

@@ -22,9 +22,9 @@ from typing import List
 from repro.baselines.herd import HerdServer
 from repro.bench.figures import ExperimentResult, _fmt, _spec
 from repro.bench.harness import Scale, run_kv
+from repro.cluster import ClusterConfig, RfpCluster
 from repro.hw.cluster import build_cluster
 from repro.hw.specs import CLUSTER_EUROSYS17, ClusterSpec, MachineSpec, NicSpec
-from repro.kv.jakiro import Jakiro
 from repro.sim.core import Simulator
 from repro.sim.monitor import ThroughputMeter
 from repro.workloads.ycsb import WorkloadSpec, YcsbWorkload
@@ -101,38 +101,37 @@ def run_ext_multiserver(scale: Scale) -> ExperimentResult:
 
     Uses an 18-machine cluster (the testbed's InfiniScale-IV switch has
     18 ports) so the client side can actually offer enough load to
-    saturate several servers.
+    saturate several servers.  Sharding and key routing ride the
+    :mod:`repro.cluster` layer (consistent-hash ring, RF=1); the wide
+    operation timeout keeps the failure detector quiet so this measures
+    pure scaling, not failover.
     """
     cluster_spec = ClusterSpec(
         machine=CLUSTER_EUROSYS17.machine,
         machines=18,
         switch_hop_us=CLUSTER_EUROSYS17.switch_hop_us,
     )
-    from repro.kv.store import key_hash
-
     rows = []
     for servers in (1, 2, 3):
         sim = Simulator()
         cluster = build_cluster(sim, cluster_spec)
-        server_machines = cluster.machines[:servers]
+        service = RfpCluster(
+            sim,
+            cluster,
+            shards=servers,
+            cluster_config=ClusterConfig(replication_factor=1, op_timeout_us=500.0),
+        )
         client_machines = cluster.machines[servers:]
-        shards = [
-            Jakiro(sim, cluster, machine=machine, threads=6, name=f"shard{i}")
-            for i, machine in enumerate(server_machines)
-        ]
         workload = YcsbWorkload(WorkloadSpec(records=scale.records))
-        # Shard the key space across server machines by key hash.
-        for key, value in workload.dataset():
-            shards[key_hash(key) % servers].preload([(key, value)])
+        service.preload(workload.dataset())
 
         window = scale.window_us
         warmup = window * 0.25
         meter = ThroughputMeter(window_start=warmup, window_end=window)
         client_threads = 5 * len(client_machines)
 
-        def loop(sim, clients, operations):
+        def loop(sim, client, operations):
             for op in operations:
-                client = clients[key_hash(op.key) % servers]
                 if op.is_get:
                     yield from client.get(op.key)
                 else:
@@ -141,13 +140,11 @@ def run_ext_multiserver(scale: Scale) -> ExperimentResult:
 
         for index in range(client_threads):
             machine = client_machines[index % len(client_machines)]
-            # One logical client thread; it counts once toward its NIC's
-            # issuing contention however many shards it talks to.
-            clients = [
-                shard.connect(machine, register_issuer=(number == 0))
-                for number, shard in enumerate(shards)
-            ]
-            sim.process(loop(sim, clients, workload.operations(f"c{index}")))
+            # One logical client thread; its ClusterClient counts once
+            # toward its NIC's issuing contention however many shards it
+            # talks to.
+            client = service.connect(machine, name=f"c{index}")
+            sim.process(loop(sim, client, workload.operations(f"c{index}")))
         sim.run(until=window)
         rows.append([servers, client_threads, _fmt(meter.mops(elapsed=window - warmup))])
     return ExperimentResult(

@@ -1,0 +1,29 @@
+"""repro.cluster — sharded, fault-tolerant RFP cluster layer.
+
+Composes N independent :class:`~repro.kv.jakiro.Jakiro` shards into one
+addressable service: consistent-hash key placement (:mod:`.ring`),
+heartbeat/lease failure detection (:mod:`.membership`), replica takeover
+on shard death (:mod:`.failover`), client-side routing with per-shard
+(R, F) adaptation (:mod:`.router`), and per-shard instruments
+(:mod:`.metrics`).  See ``docs/cluster.md`` for the design.
+"""
+
+from repro.cluster.failover import FailoverCoordinator, FailoverEvent
+from repro.cluster.membership import Membership, ShardStatus
+from repro.cluster.metrics import ClusterMetrics, ShardMetrics
+from repro.cluster.ring import HashRing
+from repro.cluster.router import ClusterClient, ClusterConfig, RfpCluster, ShardHandle
+
+__all__ = [
+    "HashRing",
+    "Membership",
+    "ShardStatus",
+    "FailoverCoordinator",
+    "FailoverEvent",
+    "ClusterMetrics",
+    "ShardMetrics",
+    "ClusterConfig",
+    "ShardHandle",
+    "RfpCluster",
+    "ClusterClient",
+]

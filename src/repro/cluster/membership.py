@@ -1,0 +1,167 @@
+"""Sim-time heartbeat/lease failure detection for the cluster layer.
+
+Every shard owns a heartbeat process (spawned by the cluster service)
+that calls :meth:`Membership.beat` while the shard is alive.  The
+membership's detector process checks leases every heartbeat interval: a
+shard whose last beat is older than ``lease_timeout_us`` is declared
+``DEAD``.  Routers additionally *report* shards whose operations time
+out; a report moves a shard to ``SUSPECT`` immediately, so the whole
+client population stops routing to it long before the lease expires.
+
+State machine::
+
+    HEALTHY --report_suspect--> SUSPECT --lease expiry--> DEAD
+       ^                           |
+       +----------beat------------+        (DEAD is sticky: a dead shard
+                                            must re-join explicitly)
+
+A false suspicion (the shard was merely slow) heals on its next
+heartbeat; ``DEAD`` is terminal so failover decisions never flap.
+Status changes are traced under the ``cluster`` category and pushed to
+subscribed listeners (the failover coordinator).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Dict, Generator, List, Optional
+
+from repro.errors import ClusterError
+from repro.sim.core import Process, Simulator
+from repro.sim.trace import Tracer
+
+__all__ = ["ShardStatus", "Membership"]
+
+
+class ShardStatus(enum.Enum):
+    """Liveness of one shard as seen by the failure detector."""
+
+    HEALTHY = 0
+    SUSPECT = 1
+    DEAD = 2
+
+
+#: ``listener(node, status)`` — invoked on every status change.
+StatusListener = Callable[[str, ShardStatus], None]
+
+
+class Membership:
+    """Heartbeat/lease failure detection over a set of named shards."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        heartbeat_interval_us: float = 20.0,
+        lease_timeout_us: float = 60.0,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        if heartbeat_interval_us <= 0:
+            raise ClusterError(
+                f"heartbeat interval must be positive: {heartbeat_interval_us}"
+            )
+        if lease_timeout_us <= heartbeat_interval_us:
+            raise ClusterError(
+                "lease timeout must exceed the heartbeat interval "
+                f"({lease_timeout_us} <= {heartbeat_interval_us})"
+            )
+        self.sim = sim
+        self.heartbeat_interval_us = heartbeat_interval_us
+        self.lease_timeout_us = lease_timeout_us
+        self.tracer = tracer
+        self._last_beat_us: Dict[str, float] = {}
+        self._status: Dict[str, ShardStatus] = {}
+        self._listeners: List[StatusListener] = []
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+
+    def register(self, node: str) -> None:
+        """Admit ``node`` as HEALTHY with a fresh lease."""
+        if node in self._status:
+            raise ClusterError(f"shard {node!r} is already registered")
+        self._status[node] = ShardStatus.HEALTHY
+        self._last_beat_us[node] = self.sim.now
+
+    def subscribe(self, listener: StatusListener) -> None:
+        """``listener(node, status)`` fires on every status change."""
+        self._listeners.append(listener)
+
+    def start(self) -> Process:
+        """Spawn the lease-checking detector process."""
+        return self.sim.process(self._detector(), name="cluster-membership")
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+
+    def status(self, node: str) -> ShardStatus:
+        try:
+            return self._status[node]
+        except KeyError:
+            raise ClusterError(f"unknown shard {node!r}") from None
+
+    def is_routable(self, node: str) -> bool:
+        """Routers send operations only to HEALTHY shards."""
+        return self.status(node) is ShardStatus.HEALTHY
+
+    def healthy_nodes(self) -> List[str]:
+        return sorted(
+            node
+            for node, status in self._status.items()
+            if status is ShardStatus.HEALTHY
+        )
+
+    # ------------------------------------------------------------------
+    # Signals
+    # ------------------------------------------------------------------
+
+    def beat(self, node: str) -> None:
+        """One heartbeat from ``node``; heals a false suspicion."""
+        status = self.status(node)
+        self._last_beat_us[node] = self.sim.now
+        if status is ShardStatus.SUSPECT:
+            self._transition(node, ShardStatus.HEALTHY, "heartbeat resumed")
+
+    def report_suspect(self, node: str, reason: str = "") -> None:
+        """A router saw an operation time out against ``node``."""
+        if self.status(node) is ShardStatus.HEALTHY:
+            self._transition(node, ShardStatus.SUSPECT, reason)
+
+    def mark_dead(self, node: str, reason: str = "") -> None:
+        """Declare ``node`` dead (terminal)."""
+        if self.status(node) is not ShardStatus.DEAD:
+            self._transition(node, ShardStatus.DEAD, reason)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _transition(self, node: str, status: ShardStatus, reason: str) -> None:
+        self._status[node] = status
+        if self.tracer is not None:
+            label = {
+                ShardStatus.HEALTHY: "recovered",
+                ShardStatus.SUSPECT: "suspect",
+                ShardStatus.DEAD: "dead",
+            }[status]
+            self.tracer.record("cluster", label, shard=node, reason=reason)
+        for listener in self._listeners:
+            listener(node, status)
+
+    def _detector(self) -> Generator:
+        while True:
+            yield self.sim.timeout(self.heartbeat_interval_us)
+            now = self.sim.now
+            for node in sorted(self._status):
+                if self._status[node] is ShardStatus.DEAD:
+                    continue
+                silent_us = now - self._last_beat_us[node]
+                if silent_us > self.lease_timeout_us:
+                    self.mark_dead(
+                        node, reason=f"lease expired after {silent_us:.1f}us"
+                    )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        healthy = len(self.healthy_nodes())
+        return f"Membership({healthy}/{len(self._status)} healthy)"

@@ -1,0 +1,108 @@
+"""Per-shard measurement instruments for cluster runs.
+
+One :class:`ShardMetrics` per shard rides the standard
+:mod:`repro.sim.monitor` instruments (Counters for op/timeout counts, a
+Tally for routed-op latency), and :class:`ClusterMetrics` aggregates
+them into report rows.  Readout is idle-safe: a shard that served
+nothing during the window reports NaN latency percentiles instead of
+crashing the report (see :meth:`repro.sim.monitor.Tally.percentile`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List
+
+from repro.errors import ClusterError
+from repro.sim.monitor import Counter, Tally
+
+__all__ = ["ShardMetrics", "ClusterMetrics"]
+
+_NAN = float("nan")
+
+
+@dataclass
+class ShardMetrics:
+    """Counters and latency tally for one shard's routed traffic."""
+
+    name: str
+    gets: Counter = field(default_factory=lambda: Counter("gets"))
+    puts: Counter = field(default_factory=lambda: Counter("puts"))
+    timeouts: Counter = field(default_factory=lambda: Counter("timeouts"))
+    #: Operations that reached this shard on a retry, after a first
+    #: attempt timed out against another (failing) shard.
+    failover_ops: Counter = field(default_factory=lambda: Counter("failover_ops"))
+    latency_us: Tally = field(default_factory=lambda: Tally("latency_us"))
+
+    @property
+    def operations(self) -> int:
+        return self.gets.value + self.puts.value
+
+
+class ClusterMetrics:
+    """Aggregates :class:`ShardMetrics` across a cluster's shards."""
+
+    def __init__(self, shard_names: Iterable[str]) -> None:
+        self.shards: Dict[str, ShardMetrics] = {
+            name: ShardMetrics(name) for name in shard_names
+        }
+        if not self.shards:
+            raise ClusterError("cluster metrics need at least one shard")
+
+    def shard(self, name: str) -> ShardMetrics:
+        try:
+            return self.shards[name]
+        except KeyError:
+            raise ClusterError(f"unknown shard {name!r}") from None
+
+    def record_op(
+        self,
+        name: str,
+        op: str,
+        latency_us: float,
+        rerouted: bool = False,
+    ) -> None:
+        """One completed operation routed to shard ``name``."""
+        metrics = self.shard(name)
+        if op == "get":
+            metrics.gets.increment()
+        else:
+            metrics.puts.increment()
+        metrics.latency_us.record(latency_us)
+        if rerouted:
+            metrics.failover_ops.increment()
+
+    def record_timeout(self, name: str) -> None:
+        self.shard(name).timeouts.increment()
+
+    def total_operations(self) -> int:
+        return sum(m.operations for m in self.shards.values())
+
+    def report_rows(self) -> List[List[object]]:
+        """One row per shard, idle-shard safe (NaN for empty tallies)."""
+        rows: List[List[object]] = []
+        for name in sorted(self.shards):
+            metrics = self.shards[name]
+            rows.append(
+                [
+                    name,
+                    metrics.gets.value,
+                    metrics.puts.value,
+                    metrics.timeouts.value,
+                    metrics.failover_ops.value,
+                    round(metrics.latency_us.mean(default=_NAN), 3),
+                    round(metrics.latency_us.percentile(99, default=_NAN), 3),
+                ]
+            )
+        return rows
+
+    #: Column names matching :meth:`report_rows`.
+    REPORT_COLUMNS = [
+        "shard",
+        "gets",
+        "puts",
+        "timeouts",
+        "failover_ops",
+        "mean_latency_us",
+        "p99_latency_us",
+    ]

@@ -1,0 +1,493 @@
+"""Sharded RFP cluster service and its client-side router.
+
+:class:`RfpCluster` turns N independent :class:`~repro.kv.jakiro.Jakiro`
+instances — one per server machine — into one addressable service:
+
+- key placement and replica choice come from a deterministic
+  :class:`~repro.cluster.ring.HashRing` (consistent hashing, virtual
+  nodes),
+- liveness comes from :class:`~repro.cluster.membership.Membership`
+  (sim-time heartbeats and leases),
+- shard death triggers a :class:`~repro.cluster.failover.FailoverCoordinator`
+  ring rebalance so every range falls to the shard already holding its
+  replica.
+
+:class:`ClusterClient` is one client *thread*'s view of the service: it
+owns one :class:`~repro.kv.jakiro.JakiroClient` per shard (registering
+with its NIC's contention model exactly once), routes each operation by
+key, guards every attempt with an operation timeout, and re-routes to a
+replica when a shard stops answering.  Writes are primary-backup: a PUT
+is acknowledged only once every healthy replica applied it, which is
+what makes failover lose no acknowledged write.
+
+Per-shard (R, F) tuning rides the existing
+:class:`~repro.core.adaptive.AdaptiveParameterController`: one
+controller per shard samples only that shard's result sizes, so shards
+serving different value-size distributions converge to different fetch
+sizes F (see :meth:`RfpCluster.start_adaptive`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Generator, List, Optional, Sequence, Tuple
+
+from repro.cluster.failover import FailoverCoordinator
+from repro.cluster.membership import Membership
+from repro.cluster.metrics import ClusterMetrics
+from repro.cluster.ring import HashRing
+from repro.core.adaptive import AdaptiveParameterController
+from repro.core.config import RfpConfig
+from repro.errors import ClusterError
+from repro.hw.cluster import Cluster
+from repro.hw.machine import Machine
+from repro.kv.jakiro import Jakiro, JakiroClient
+from repro.kv.store import StoreCostModel, partition_of
+from repro.sim.core import AllOf, AnyOf, Process, Simulator
+from repro.sim.resources import Resource
+from repro.sim.trace import Tracer
+
+__all__ = ["ClusterConfig", "ShardHandle", "RfpCluster", "ClusterClient"]
+
+#: Sentinel distinguishing "operation timed out" from any RPC result.
+_TIMED_OUT = object()
+
+#: A batch operation: ``("get", key)`` or ``("put", key, value)``.
+BatchOp = Tuple
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Cluster-layer tunables (the RFP transport keeps its own
+    :class:`~repro.core.config.RfpConfig`).
+
+    Attributes
+    ----------
+    replication_factor:
+        Healthy replicas per key (1 = plain sharding, 2+ = primary-backup
+        with takeover on failure).
+    vnodes:
+        Virtual nodes per shard on the hash ring.
+    heartbeat_interval_us / lease_timeout_us:
+        Failure-detector cadence (see :class:`Membership`).
+    op_timeout_us:
+        Router-side deadline per routed attempt; a timed-out attempt
+        marks the shard SUSPECT and re-routes to a replica.  Must sit
+        comfortably above the worst healthy-path latency, or slow shards
+        get falsely suspected.
+    max_op_retries:
+        Re-route attempts per logical operation before giving up.
+    """
+
+    replication_factor: int = 2
+    vnodes: int = 128
+    heartbeat_interval_us: float = 20.0
+    lease_timeout_us: float = 60.0
+    op_timeout_us: float = 40.0
+    max_op_retries: int = 4
+
+    def __post_init__(self) -> None:
+        if self.replication_factor < 1:
+            raise ClusterError(
+                f"replication factor must be >= 1, got {self.replication_factor}"
+            )
+        if self.op_timeout_us <= 0:
+            raise ClusterError(f"op timeout must be positive: {self.op_timeout_us}")
+        if self.max_op_retries < 1:
+            raise ClusterError(f"max_op_retries must be >= 1, got {self.max_op_retries}")
+
+
+class ShardHandle:
+    """One shard: its Jakiro server, host machine, and liveness flag."""
+
+    def __init__(self, name: str, jakiro: Jakiro, machine: Machine) -> None:
+        self.name = name
+        self.jakiro = jakiro
+        self.machine = machine
+        self.alive = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "alive" if self.alive else "dead"
+        return f"ShardHandle({self.name}, {state})"
+
+
+class RfpCluster:
+    """N Jakiro shards behind consistent-hash routing with failover."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cluster: Cluster,
+        shards: int = 3,
+        cluster_config: Optional[ClusterConfig] = None,
+        rfp_config: Optional[RfpConfig] = None,
+        server_machines: Optional[Sequence[Machine]] = None,
+        server_threads: int = 6,
+        cost_model: Optional[StoreCostModel] = None,
+        tracer: Optional[Tracer] = None,
+        shard_tracers: Optional[Dict[str, Tracer]] = None,
+        name: str = "cluster",
+    ) -> None:
+        """``tracer`` records cluster-layer events (``route``,
+        ``suspect``/``dead``, ``failover``, ``rebalance``);
+        ``shard_tracers`` maps shard name -> a per-shard protocol tracer
+        handed to that shard's Jakiro, so an
+        :class:`~repro.lint.invariants.RfpInvariantChecker` can audit
+        each shard in isolation (e.g. assert a healthy shard's NIC
+        stayed in-bound-only through a failover)."""
+        if shards < 1:
+            raise ClusterError(f"cluster needs at least one shard, got {shards}")
+        machines = (
+            list(server_machines)
+            if server_machines is not None
+            else cluster.machines[:shards]
+        )
+        if len(machines) != shards:
+            raise ClusterError(
+                f"{shards} shards need {shards} server machines, got {len(machines)}"
+            )
+        self.sim = sim
+        self.cluster = cluster
+        self.config = cluster_config if cluster_config is not None else ClusterConfig()
+        self.rfp_config = rfp_config if rfp_config is not None else RfpConfig()
+        self.tracer = tracer
+        self.name = name
+        shard_tracers = shard_tracers if shard_tracers is not None else {}
+        self.shards: Dict[str, ShardHandle] = {}
+        for index, machine in enumerate(machines):
+            shard_name = f"shard{index}"
+            jakiro = Jakiro(
+                sim,
+                cluster,
+                machine=machine,
+                threads=server_threads,
+                config=self.rfp_config,
+                cost_model=cost_model,
+                name=f"{name}.{shard_name}",
+                tracer=shard_tracers.get(shard_name),
+            )
+            self.shards[shard_name] = ShardHandle(shard_name, jakiro, machine)
+        self.ring = HashRing(self.shards, vnodes=self.config.vnodes)
+        self.membership = Membership(
+            sim,
+            heartbeat_interval_us=self.config.heartbeat_interval_us,
+            lease_timeout_us=self.config.lease_timeout_us,
+            tracer=tracer,
+        )
+        for shard_name in sorted(self.shards):
+            self.membership.register(shard_name)
+        self.failover = FailoverCoordinator(sim, self.ring, self.membership, tracer)
+        self.metrics = ClusterMetrics(sorted(self.shards))
+        self._clients: List["ClusterClient"] = []
+        self.adaptive: Dict[str, AdaptiveParameterController] = {}
+        for handle in self.shards.values():
+            sim.process(
+                self._heartbeat(handle), name=f"{name}.{handle.name}.heartbeat"
+            )
+        self.membership.start()
+
+    # ------------------------------------------------------------------
+    # Data placement
+    # ------------------------------------------------------------------
+
+    def replicas_for(self, key: bytes) -> List[str]:
+        """Current replica set for ``key`` (primary first)."""
+        return self.ring.lookup_replicas(key, self.config.replication_factor)
+
+    def preload(self, pairs) -> None:
+        """Load pairs into every replica (off-line, before the clock runs)."""
+        for key, value in pairs:
+            for shard_name in self.replicas_for(key):
+                self.shards[shard_name].jakiro.preload([(key, value)])
+
+    def peek(self, shard_name: str, key: bytes) -> Optional[bytes]:
+        """Direct store readout (no simulated time) — verification only.
+
+        Used post-run to audit durability claims, e.g. that no
+        acknowledged write was lost across a failover.
+        """
+        store = self._handle(shard_name).jakiro.store
+        value, _cost = store.get(partition_of(key, store.partitions), key)
+        return value
+
+    # ------------------------------------------------------------------
+    # Clients and failure injection
+    # ------------------------------------------------------------------
+
+    def connect(self, machine: Machine, name: str = "") -> "ClusterClient":
+        """Attach one client thread running on ``machine``."""
+        client = ClusterClient(self, machine, name=name)
+        self._clients.append(client)
+        return client
+
+    def kill(self, shard_name: str) -> None:
+        """Crash one shard: its server stops serving and its heartbeats
+        stop; the NIC keeps serving one-sided reads (a host crash takes
+        the CPU with it, not the fabric), so stuck fetchers see stale
+        parity until they degrade to server-reply and block."""
+        handle = self._handle(shard_name)
+        if not handle.alive:
+            raise ClusterError(f"shard {shard_name!r} is already dead")
+        handle.alive = False
+        handle.jakiro.server.halt()
+        if self.tracer is not None:
+            self.tracer.record("cluster", "shard_killed", shard=shard_name)
+
+    def _handle(self, shard_name: str) -> ShardHandle:
+        try:
+            return self.shards[shard_name]
+        except KeyError:
+            raise ClusterError(f"unknown shard {shard_name!r}") from None
+
+    def _heartbeat(self, handle: ShardHandle) -> Generator:
+        interval = self.config.heartbeat_interval_us
+        while handle.alive:
+            self.membership.beat(handle.name)
+            yield self.sim.timeout(interval)
+
+    # ------------------------------------------------------------------
+    # Per-shard (R, F) adaptation
+    # ------------------------------------------------------------------
+
+    def start_adaptive(
+        self,
+        iops_at: Optional[Callable[[int, int], float]] = None,
+        retry_upper_bound: int = 5,
+        size_lower_bound: int = 64,
+        size_upper_bound: int = 4096,
+        interval_us: float = 250.0,
+        min_samples: int = 32,
+    ) -> Dict[str, AdaptiveParameterController]:
+        """One §3.2 controller per shard, fed only by that shard's results.
+
+        Every connected client contributes its transports to the owning
+        shard's controller, so the (R, F) each shard converges to follows
+        that shard's own value-size distribution — a shard serving 1 KB
+        values settles on a larger F than one serving 32 B values.
+        Call after the clients are connected.
+        """
+        if not self._clients:
+            raise ClusterError("connect clients before starting adaptation")
+        if iops_at is None:
+            iops_at = self._model_iops()
+        for shard_name in sorted(self.shards):
+            transports = [
+                transport
+                for client in self._clients
+                for transport in client.shard_client(shard_name).transports
+            ]
+            controller = AdaptiveParameterController(
+                self.sim,
+                transports,
+                iops_at,
+                retry_upper_bound=retry_upper_bound,
+                size_lower_bound=size_lower_bound,
+                size_upper_bound=min(
+                    size_upper_bound, self.rfp_config.response_buffer_bytes
+                ),
+                interval_us=interval_us,
+                min_samples=min_samples,
+            )
+            controller.start()
+            self.adaptive[shard_name] = controller
+        return self.adaptive
+
+    def _model_iops(self) -> Callable[[int, int], float]:
+        """Closed-form I(R, F) from the cluster's NIC model (Eq. 2)."""
+        from repro.hw.rnic import pipeline_service_time
+
+        nic = self.cluster.spec.machine.nic
+
+        def iops_at(retry: int, fetch: int) -> float:
+            return 1.0 / pipeline_service_time(
+                nic.inbound_base_us,
+                fetch,
+                nic.effective_bandwidth_bytes_per_us,
+                nic.softmax_order,
+            )
+
+        return iops_at
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RfpCluster({len(self.shards)} shards, {len(self._clients)} clients)"
+
+
+class ClusterClient:
+    """One client thread's router over the cluster's shards."""
+
+    def __init__(self, service: RfpCluster, machine: Machine, name: str = "") -> None:
+        self.sim = service.sim
+        self.service = service
+        self.machine = machine
+        self.name = name or f"cluster-client@{machine.name}"
+        self._clients: Dict[str, JakiroClient] = {}
+        #: Shards whose transport this client abandoned mid-call (an op
+        #: timed out); a one-sided transport with a stuck in-flight call
+        #: can never be reused safely.
+        self._broken: set = set()
+        #: Per-shard serialization: batched operations run concurrently
+        #: across shards but strictly in order against any single shard
+        #: (one in-flight call per transport is an RFP invariant).
+        self._shard_locks: Dict[str, Resource] = {}
+        for index, shard_name in enumerate(sorted(service.shards)):
+            handle = service.shards[shard_name]
+            self._clients[shard_name] = handle.jakiro.connect(
+                machine,
+                name=f"{self.name}.{shard_name}",
+                register_issuer=(index == 0),
+            )
+            self._shard_locks[shard_name] = Resource(self.sim)
+
+    def shard_client(self, shard_name: str) -> JakiroClient:
+        return self._clients[shard_name]
+
+    # ------------------------------------------------------------------
+    # The KV surface
+    # ------------------------------------------------------------------
+
+    def get(self, key: bytes) -> Generator:
+        """Process body: routed GET; returns the value or ``None``."""
+        for attempt in range(self.service.config.max_op_retries):
+            shard_name = self._healthy_replicas(key)[0]
+            result = yield from self._attempt(
+                shard_name, "get", key, None, rerouted=attempt > 0
+            )
+            if result is not _TIMED_OUT:
+                return result
+        raise ClusterError(
+            f"GET exhausted {self.service.config.max_op_retries} routing attempts"
+        )
+
+    def put(self, key: bytes, value: bytes) -> Generator:
+        """Process body: primary-backup PUT; acknowledged only after every
+        healthy replica applied the write."""
+        for attempt in range(self.service.config.max_op_retries):
+            replicas = self._healthy_replicas(key)
+            for shard_name in replicas:
+                result = yield from self._attempt(
+                    shard_name, "put", key, value, rerouted=attempt > 0
+                )
+                if result is _TIMED_OUT:
+                    break
+            else:
+                return None
+        raise ClusterError(
+            f"PUT exhausted {self.service.config.max_op_retries} routing attempts"
+        )
+
+    def execute_batch(self, operations: Sequence[BatchOp]) -> Generator:
+        """Process body: run a batch, grouping same-shard operations.
+
+        Operations are ``("get", key)`` / ``("put", key, value)`` tuples.
+        The batch is partitioned by primary shard; groups run
+        concurrently (different shards, different transports) while each
+        group executes in order.  Returns results in input order.  A
+        batch must not write the same key twice.
+        """
+        groups: Dict[str, List[int]] = {}
+        for index, operation in enumerate(operations):
+            shard_name = self._healthy_replicas(operation[1])[0]
+            groups.setdefault(shard_name, []).append(index)
+        results: List[object] = [None] * len(operations)
+
+        def run_group(indexes: List[int]) -> Generator:
+            for index in indexes:
+                operation = operations[index]
+                if operation[0] == "get":
+                    results[index] = yield from self.get(operation[1])
+                elif operation[0] == "put":
+                    results[index] = yield from self.put(operation[1], operation[2])
+                else:
+                    raise ClusterError(f"unknown batch op {operation[0]!r}")
+
+        processes: List[Process] = [
+            self.sim.process(run_group(indexes), name=f"{self.name}.batch")
+            for indexes in groups.values()
+        ]
+        yield AllOf(self.sim, processes)
+        return results
+
+    # ------------------------------------------------------------------
+    # Routing internals
+    # ------------------------------------------------------------------
+
+    def _healthy_replicas(self, key: bytes) -> List[str]:
+        service = self.service
+        replicas = [
+            shard_name
+            for shard_name in service.replicas_for(key)
+            if service.membership.is_routable(shard_name)
+            and shard_name not in self._broken
+        ]
+        if not replicas:
+            raise ClusterError(f"no healthy replica for key {key!r}")
+        return replicas
+
+    def _attempt(
+        self,
+        shard_name: str,
+        op: str,
+        key: bytes,
+        value: Optional[bytes],
+        rerouted: bool = False,
+    ) -> Generator:
+        """One guarded attempt against one shard.
+
+        Returns the RPC result, or :data:`_TIMED_OUT` after marking the
+        shard suspect (the caller re-routes).  The underlying call keeps
+        running detached when abandoned; its connection degrades through
+        the hybrid rule rather than being reused.
+        """
+        sim = self.sim
+        service = self.service
+        lock = self._shard_locks[shard_name]
+        yield lock.request()
+        try:
+            if shard_name in self._broken or not service.membership.is_routable(
+                shard_name
+            ):
+                # The shard failed while this operation queued behind the
+                # per-shard lock; bounce it back to the router.
+                return _TIMED_OUT
+            if service.tracer is not None:
+                service.tracer.record(
+                    "cluster",
+                    "route",
+                    shard=shard_name,
+                    op=op,
+                    client=self.name,
+                )
+            client = self._clients[shard_name]
+            body = client.get(key) if op == "get" else client.put(key, value)
+            began = sim.now
+            call = sim.process(body, name=f"{self.name}.{op}")
+            which, outcome = yield AnyOf(
+                sim, [call, sim.timeout(service.config.op_timeout_us)]
+            )
+            if which == 0:
+                service.metrics.record_op(
+                    shard_name, op, sim.now - began, rerouted=rerouted
+                )
+                return outcome
+            # Timed out: this transport is stuck mid-call — never reuse
+            # it — and the shard is suspect for everyone.
+            self._broken.add(shard_name)
+            service.metrics.record_timeout(shard_name)
+            service.membership.report_suspect(
+                shard_name,
+                reason=f"{op} timed out after {service.config.op_timeout_us}us",
+            )
+            if service.tracer is not None:
+                service.tracer.record(
+                    "cluster",
+                    "route_timeout",
+                    shard=shard_name,
+                    op=op,
+                    client=self.name,
+                )
+            return _TIMED_OUT
+        finally:
+            lock.release()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ClusterClient({self.name}, {len(self._clients)} shards)"

@@ -155,6 +155,7 @@ class RfpServer:
         self.stats = RfpServerStats()
         #: Optional :class:`repro.sim.Tracer` recording protocol phases.
         self.tracer = tracer
+        self._halted = False
         self._jitter_rng = seeded_rng(stable_hash(name))
         self._stores: List[Store] = [Store(sim) for _ in range(threads)]
         self._channels: List[ClientChannel] = []
@@ -203,11 +204,30 @@ class RfpServer:
         """Hand a delivered request to the owning worker thread."""
         self._stores[channel.thread_id].put(channel)
 
+    def halt(self) -> None:
+        """Crash the server's CPU side: worker threads stop serving and no
+        further replies (including late replies) are sent.
+
+        The NIC is *not* halted — one-sided reads against the response
+        buffers keep returning whatever was last published, exactly like a
+        host crash that leaves the fabric up.  Clients stuck on a halted
+        server therefore see stale parity until their retry/slow-call
+        machinery degrades the connection (§3.2's hybrid rule).  Used by
+        the cluster layer's failure injection.
+        """
+        self._halted = True
+
+    @property
+    def halted(self) -> bool:
+        return self._halted
+
     def _thread_body(self, thread_id: int, store: Store):
         sim = self.sim
         config = self.config
         while True:
             channel: ClientChannel = yield store.get()
+            if self._halted:
+                return
             yield sim.timeout(config.server_poll_cpu_us)
             header = RequestHeader.unpack(
                 channel.request_region.read_local(0, REQUEST_HEADER_BYTES)
@@ -220,6 +240,8 @@ class RfpServer:
             if process_us > 0:
                 yield sim.timeout(process_us)
             yield sim.timeout(config.server_sw_us + self._stub_jitter_us())
+            if self._halted:
+                return
             self._publish_response(channel, header.status, response)
             if channel.mode is Mode.SERVER_REPLY:
                 yield from self._send_reply(channel)
@@ -318,7 +340,8 @@ class RfpServer:
                 mode=new_mode.name,
             )
         pending = (
-            new_mode is Mode.SERVER_REPLY
+            not self._halted
+            and new_mode is Mode.SERVER_REPLY
             and channel.state == ClientChannel.DONE
             and channel.response_seq is not None
             and channel.replied_seq != channel.response_seq

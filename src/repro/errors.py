@@ -15,6 +15,7 @@ __all__ = [
     "KVError",
     "KeyTooLargeError",
     "ValueTooLargeError",
+    "ClusterError",
     "WorkloadError",
     "BenchError",
 ]
@@ -50,6 +51,10 @@ class KeyTooLargeError(KVError):
 
 class ValueTooLargeError(KVError):
     """Value exceeds the store's configured maximum value size."""
+
+
+class ClusterError(ReproError):
+    """Invalid cluster-layer configuration or an unroutable operation."""
 
 
 class WorkloadError(ReproError):

@@ -7,15 +7,22 @@ Two layers guard the promises the reproduction rests on:
   reads, global RNG state, float time equality, mixed unit suffixes,
   mutable defaults, non-event yields in simulator processes) with
   ``file:line`` positions.  Run it with ``python -m repro.lint``.
-- :mod:`repro.lint.invariants` — a :class:`~repro.sim.trace.Tracer`
-  observer that checks every simulated RFP request against the paper's
-  §3.2 state machine while the simulation runs.
+- :mod:`repro.lint.invariants` — :class:`~repro.sim.trace.Tracer`
+  observers that check every simulated RFP request against the paper's
+  §3.2 state machine while the simulation runs
+  (:class:`RfpInvariantChecker`), and every ``repro.cluster`` routing/
+  failover decision against the cluster layer's rules
+  (:class:`ClusterInvariantChecker`).
 
 See ``docs/lint.md`` for the rule catalogue and the invariant list.
 """
 
 from repro.lint.engine import lint_file, lint_paths, lint_source
-from repro.lint.invariants import InvariantViolation, RfpInvariantChecker
+from repro.lint.invariants import (
+    ClusterInvariantChecker,
+    InvariantViolation,
+    RfpInvariantChecker,
+)
 from repro.lint.rules import ALL_RULES, Violation
 
 __all__ = [
@@ -26,4 +33,5 @@ __all__ = [
     "lint_source",
     "InvariantViolation",
     "RfpInvariantChecker",
+    "ClusterInvariantChecker",
 ]

@@ -41,7 +41,7 @@ from repro.core.mode import Mode
 from repro.errors import ReproError
 from repro.sim.trace import TraceEvent, Tracer
 
-__all__ = ["InvariantViolation", "RfpInvariantChecker"]
+__all__ = ["InvariantViolation", "RfpInvariantChecker", "ClusterInvariantChecker"]
 
 
 class InvariantViolation(ReproError):
@@ -418,5 +418,176 @@ class RfpInvariantChecker:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"RfpInvariantChecker(clients={len(self._clients)}, "
+            f"events={self.events_checked}, violations={len(self.violations)})"
+        )
+
+
+class ClusterInvariantChecker:
+    """Validates traced ``cluster``-category events from
+    :mod:`repro.cluster` against the layer's routing/failover rules.
+
+    Invariants:
+
+    1. **Route health** — operations are routed only to shards the
+       membership currently considers ``HEALTHY``; a route to a
+       ``SUSPECT`` or ``DEAD`` shard means a router ignored the failure
+       detector.
+    2. **Status machine** — ``suspect`` only from healthy, ``recovered``
+       only from suspect (``DEAD`` is sticky), ``dead`` never twice.
+    3. **Failover discipline** — a ``failover`` event names a shard that
+       was declared ``dead`` first, happens at most once per shard, and
+       its successor list excludes the dead shard; the paired
+       ``rebalance`` event agrees on the survivor set.
+    4. **Post-failover silence** — once a shard failed over, no further
+       operation is routed to it.
+
+    Like :class:`RfpInvariantChecker`, violations are collected by
+    default; ``halt_on_violation=True`` raises at the exact simulated
+    time the rule breaks.
+    """
+
+    _HEALTHY, _SUSPECT, _DEAD = "HEALTHY", "SUSPECT", "DEAD"
+
+    def __init__(self, halt_on_violation: bool = False) -> None:
+        self.halt_on_violation = halt_on_violation
+        self.violations: List[str] = []
+        self.events_checked = 0
+        self._status: Dict[str, str] = {}
+        self._failed_over: set = set()
+        self.routes_per_shard: Dict[str, int] = {}
+        self._handlers: Dict[str, Callable[[TraceEvent], None]] = {
+            "route": self._on_route,
+            "suspect": self._on_suspect,
+            "recovered": self._on_recovered,
+            "dead": self._on_dead,
+            "failover": self._on_failover,
+            "rebalance": self._on_rebalance,
+        }
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+
+    def attach(self, tracer: Tracer) -> "ClusterInvariantChecker":
+        """Subscribe to ``tracer``; returns self for chaining."""
+        tracer.subscribe(self.observe)
+        return self
+
+    def observe(self, event: TraceEvent) -> None:
+        """Tracer observer entry point; dispatches one cluster event."""
+        if event.category != "cluster":
+            return
+        handler = self._handlers.get(event.label)
+        if handler is None:
+            return
+        self.events_checked += 1
+        handler(event)
+
+    def _violate(self, event: TraceEvent, message: str) -> None:
+        record = f"t={event.at_us:.3f} [{event.label}] {message}"
+        self.violations.append(record)
+        if self.halt_on_violation:
+            raise InvariantViolation(record)
+
+    def _state(self, shard: str) -> str:
+        return self._status.setdefault(shard, self._HEALTHY)
+
+    # ------------------------------------------------------------------
+    # Event handlers
+    # ------------------------------------------------------------------
+
+    def _on_route(self, event: TraceEvent) -> None:
+        shard = event.data["shard"]
+        self.routes_per_shard[shard] = self.routes_per_shard.get(shard, 0) + 1
+        status = self._state(shard)
+        if status != self._HEALTHY:
+            self._violate(
+                event,
+                f"operation routed to shard {shard!r} while it is {status}",
+            )
+        if shard in self._failed_over:
+            self._violate(
+                event,
+                f"operation routed to shard {shard!r} after its failover",
+            )
+
+    def _on_suspect(self, event: TraceEvent) -> None:
+        shard = event.data["shard"]
+        status = self._state(shard)
+        if status != self._HEALTHY:
+            self._violate(
+                event, f"shard {shard!r} marked SUSPECT from {status}"
+            )
+        self._status[shard] = self._SUSPECT
+
+    def _on_recovered(self, event: TraceEvent) -> None:
+        shard = event.data["shard"]
+        status = self._state(shard)
+        if status != self._SUSPECT:
+            self._violate(
+                event,
+                f"shard {shard!r} recovered from {status} "
+                "(legal only from SUSPECT; DEAD is sticky)",
+            )
+        self._status[shard] = self._HEALTHY
+
+    def _on_dead(self, event: TraceEvent) -> None:
+        shard = event.data["shard"]
+        if self._state(shard) == self._DEAD:
+            self._violate(event, f"shard {shard!r} declared dead twice")
+        self._status[shard] = self._DEAD
+
+    def _on_failover(self, event: TraceEvent) -> None:
+        shard = event.data["shard"]
+        successors = [s for s in event.data.get("successors", "").split(",") if s]
+        if self._state(shard) != self._DEAD:
+            self._violate(
+                event,
+                f"failover for shard {shard!r} which was never declared dead",
+            )
+        if shard in self._failed_over:
+            self._violate(event, f"second failover for shard {shard!r}")
+        if shard in successors:
+            self._violate(
+                event,
+                f"failover successors for {shard!r} include the dead shard",
+            )
+        self._failed_over.add(shard)
+
+    def _on_rebalance(self, event: TraceEvent) -> None:
+        removed = event.data["removed"]
+        survivors = [s for s in event.data.get("survivors", "").split(",") if s]
+        if removed not in self._failed_over:
+            self._violate(
+                event,
+                f"ring rebalance removed {removed!r} without a failover",
+            )
+        if removed in survivors:
+            self._violate(
+                event,
+                f"rebalance survivor set still contains the removed "
+                f"shard {removed!r}",
+            )
+
+    # ------------------------------------------------------------------
+    # Post-run checks
+    # ------------------------------------------------------------------
+
+    def assert_clean(self) -> None:
+        """Raise :class:`InvariantViolation` if anything was recorded."""
+        if self.violations:
+            summary = "\n  ".join(self.violations)
+            raise InvariantViolation(
+                f"{len(self.violations)} cluster invariant violation(s):"
+                f"\n  {summary}"
+            )
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ClusterInvariantChecker(shards={len(self._status)}, "
             f"events={self.events_checked}, violations={len(self.violations)})"
         )

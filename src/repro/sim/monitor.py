@@ -41,6 +41,14 @@ class Tally:
 
     Samples are kept in full (runs in this project are bounded to a few
     hundred thousand samples), so percentiles are exact.
+
+    Empty-sample readout is *defined*: every scalar readout
+    (:meth:`mean`, :meth:`minimum`, :meth:`maximum`, :meth:`percentile`)
+    raises :class:`ValueError` on an empty tally by default, or returns
+    the ``default`` argument when one is given — reporting code that must
+    survive idle instruments (an unloaded cluster shard, a warmup-only
+    run) passes ``default=float("nan")`` and renders the NaN, instead of
+    crashing mid-report.
     """
 
     def __init__(self, name: str = "") -> None:
@@ -58,21 +66,30 @@ class Tally:
     def samples(self) -> Sequence[float]:
         return self._samples
 
-    def mean(self) -> float:
-        if not self._samples:
+    def _empty(self, default: Optional[float]) -> float:
+        if default is None:
             raise ValueError(f"tally {self.name!r} has no samples")
+        return default
+
+    def mean(self, default: Optional[float] = None) -> float:
+        if not self._samples:
+            return self._empty(default)
         return float(np.mean(self._samples))
 
-    def minimum(self) -> float:
+    def minimum(self, default: Optional[float] = None) -> float:
+        if not self._samples:
+            return self._empty(default)
         return float(np.min(self._samples))
 
-    def maximum(self) -> float:
+    def maximum(self, default: Optional[float] = None) -> float:
+        if not self._samples:
+            return self._empty(default)
         return float(np.max(self._samples))
 
-    def percentile(self, p: float) -> float:
+    def percentile(self, p: float, default: Optional[float] = None) -> float:
         """Exact percentile, ``p`` in [0, 100]."""
         if not self._samples:
-            raise ValueError(f"tally {self.name!r} has no samples")
+            return self._empty(default)
         return float(np.percentile(self._samples, p))
 
     def cdf(

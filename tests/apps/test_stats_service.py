@@ -5,7 +5,7 @@ import pytest
 from repro.apps import StatsService
 from repro.errors import ProtocolError
 from repro.hw import CLUSTER_EUROSYS17, build_cluster
-from repro.sim import Simulator, ThroughputMeter
+from repro.sim import Simulator, ThroughputMeter, Tracer
 
 
 def make_service(transport="rfp", threads=4):
@@ -96,6 +96,54 @@ class TestStatsSemantics:
         snap_a, snap_b = proc.value
         assert snap_a.total == 1.0
         assert snap_b.total == 100.0
+
+
+@pytest.mark.parametrize("transport", ["rfp", "serverreply"])
+class TestTracing:
+    def run_traced(self, transport, service_categories=None, client_categories=None):
+        sim = Simulator()
+        cluster = build_cluster(sim, CLUSTER_EUROSYS17)
+        service_tracer = (
+            Tracer(sim, categories=service_categories)
+            if service_categories is not False
+            else None
+        )
+        client_tracer = (
+            Tracer(sim, categories=client_categories) if client_categories else None
+        )
+        service = StatsService(sim, cluster, transport=transport, tracer=service_tracer)
+        client = service.connect(cluster.client_machines[0], tracer=client_tracer)
+
+        def body(sim):
+            for value in (1.0, 2.0):
+                yield from client.record(b"m", value)
+            yield from client.query(b"m")
+
+        sim.process(body(sim))
+        sim.run()
+        return service_tracer, client_tracer
+
+    def test_service_tracer_sees_both_sides(self, transport):
+        """One tracer handed to the service covers the server AND (by
+        default) every stub the service hands out."""
+        tracer, _ = self.run_traced(transport)
+        categories = {event.category for event in tracer.events()}
+        assert "rfp.server" in categories
+        assert "rfp.client" in categories
+
+    def test_client_tracer_overrides_service_default(self, transport):
+        service_tracer, client_tracer = self.run_traced(
+            transport,
+            service_categories=["rfp.server"],
+            client_categories=["rfp.client"],
+        )
+        assert service_tracer.events()
+        assert all(e.category == "rfp.server" for e in service_tracer.events())
+        assert client_tracer.events()
+        assert all(e.category == "rfp.client" for e in client_tracer.events())
+
+    def test_untraced_service_stays_silent(self, transport):
+        self.run_traced(transport, service_categories=False)
 
 
 class TestPortingClaim:

@@ -32,8 +32,9 @@ class TestRegistry:
             "fig3", "fig4", "fig5", "fig6", "fig9", "fig10", "fig11",
             "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
             "fig19", "fig20", "tab1", "tab3", "params",
-            "ablation-symmetric", "ext-multiserver", "ext-ud-rpc",
-            "ext-lock-bypass", "breakdown",
+            "ablation-symmetric", "ext-multiserver",
+            "ext-cluster-scaling", "ext-cluster-failover",
+            "ext-ud-rpc", "ext-lock-bypass", "breakdown",
         }
         assert expected == set(EXPERIMENTS)
 

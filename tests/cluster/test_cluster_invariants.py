@@ -1,0 +1,125 @@
+"""Planted-violation tests for :class:`ClusterInvariantChecker`.
+
+Each test emits a hand-crafted ``cluster`` trace that breaks exactly one
+rule and asserts the checker names it; the clean sequence (the one the
+real router produces) must pass untouched.
+"""
+
+import pytest
+
+from repro.lint import ClusterInvariantChecker, InvariantViolation
+from repro.sim import Simulator, Tracer
+
+
+def make_rig(halt_on_violation=False):
+    sim = Simulator()
+    tracer = Tracer(sim, categories=["cluster"])
+    checker = ClusterInvariantChecker(halt_on_violation=halt_on_violation)
+    checker.attach(tracer)
+    return tracer, checker
+
+
+def emit(tracer, label, **data):
+    tracer.record("cluster", label, **data)
+
+
+class TestCleanSequence:
+    def test_healthy_lifecycle_passes(self):
+        tracer, checker = make_rig()
+        emit(tracer, "route", shard="s0", op="get", client="c0")
+        emit(tracer, "suspect", shard="s0", reason="op timed out")
+        emit(tracer, "recovered", shard="s0", reason="beat")
+        emit(tracer, "route", shard="s0", op="get", client="c0")
+        checker.assert_clean()
+        assert checker.ok
+        assert checker.events_checked == 4
+        assert checker.routes_per_shard == {"s0": 2}
+
+    def test_full_failover_sequence_passes(self):
+        tracer, checker = make_rig()
+        emit(tracer, "route", shard="s1", op="put", client="c0")
+        emit(tracer, "suspect", shard="s1", reason="op timed out")
+        emit(tracer, "dead", shard="s1", reason="lease expired")
+        emit(tracer, "failover", shard="s1", successors="s0,s2")
+        emit(tracer, "rebalance", removed="s1", survivors="s0,s2")
+        emit(tracer, "route", shard="s0", op="put", client="c0")
+        checker.assert_clean()
+
+    def test_unknown_labels_ignored(self):
+        tracer, checker = make_rig()
+        emit(tracer, "shard_killed", shard="s1")
+        emit(tracer, "route_timeout", shard="s1")
+        assert checker.events_checked == 0
+
+
+class TestPlantedViolations:
+    def test_route_to_suspect_shard_trips(self):
+        tracer, checker = make_rig()
+        emit(tracer, "suspect", shard="s0", reason="op timed out")
+        emit(tracer, "route", shard="s0", op="get", client="c0")
+        assert not checker.ok
+        assert "SUSPECT" in checker.violations[0]
+
+    def test_route_after_failover_trips(self):
+        tracer, checker = make_rig()
+        emit(tracer, "suspect", shard="s1")
+        emit(tracer, "dead", shard="s1")
+        emit(tracer, "failover", shard="s1", successors="s0")
+        emit(tracer, "route", shard="s1", op="get", client="c0")
+        assert any("after its failover" in v for v in checker.violations)
+
+    def test_failover_without_death_trips(self):
+        tracer, checker = make_rig()
+        emit(tracer, "failover", shard="s2", successors="s0,s1")
+        assert any("never declared dead" in v for v in checker.violations)
+
+    def test_double_failover_trips(self):
+        tracer, checker = make_rig()
+        emit(tracer, "dead", shard="s1")
+        emit(tracer, "failover", shard="s1", successors="s0")
+        emit(tracer, "failover", shard="s1", successors="s0")
+        assert any("second failover" in v for v in checker.violations)
+
+    def test_dead_shard_in_successors_trips(self):
+        tracer, checker = make_rig()
+        emit(tracer, "dead", shard="s1")
+        emit(tracer, "failover", shard="s1", successors="s0,s1")
+        assert any("include the dead shard" in v for v in checker.violations)
+
+    def test_recovery_from_dead_trips(self):
+        tracer, checker = make_rig()
+        emit(tracer, "suspect", shard="s0")
+        emit(tracer, "dead", shard="s0")
+        emit(tracer, "recovered", shard="s0")
+        assert any("DEAD is sticky" in v for v in checker.violations)
+
+    def test_double_death_trips(self):
+        tracer, checker = make_rig()
+        emit(tracer, "dead", shard="s0")
+        emit(tracer, "dead", shard="s0")
+        assert any("dead twice" in v for v in checker.violations)
+
+    def test_rebalance_without_failover_trips(self):
+        tracer, checker = make_rig()
+        emit(tracer, "dead", shard="s1")
+        emit(tracer, "rebalance", removed="s1", survivors="s0")
+        assert any("without a failover" in v for v in checker.violations)
+
+    def test_removed_shard_among_survivors_trips(self):
+        tracer, checker = make_rig()
+        emit(tracer, "dead", shard="s1")
+        emit(tracer, "failover", shard="s1", successors="s0")
+        emit(tracer, "rebalance", removed="s1", survivors="s0,s1")
+        assert any("still contains the removed" in v for v in checker.violations)
+
+    def test_halt_on_violation_raises_immediately(self):
+        tracer, _ = make_rig(halt_on_violation=True)
+        with pytest.raises(InvariantViolation):
+            emit(tracer, "failover", shard="s9", successors="s0")
+
+    def test_assert_clean_reports_all(self):
+        tracer, checker = make_rig()
+        emit(tracer, "dead", shard="s0")
+        emit(tracer, "dead", shard="s0")
+        with pytest.raises(InvariantViolation, match="1 cluster invariant"):
+            checker.assert_clean()

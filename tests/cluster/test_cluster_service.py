@@ -1,0 +1,290 @@
+"""Integration tests for the sharded RFP cluster service.
+
+Small-scale versions of what the cluster benchmarks measure: routing,
+batching, failure detection + replica takeover, durability of
+acknowledged writes, NIC silence on healthy shards, and per-shard (R, F)
+adaptation diverging with per-shard value sizes.
+"""
+
+import pytest
+
+from repro.cluster import ClusterConfig, RfpCluster, ShardStatus
+from repro.core.config import RfpConfig
+from repro.errors import ClusterError
+from repro.hw import CLUSTER_EUROSYS17, build_cluster
+from repro.kv.store import StoreCostModel
+from repro.lint.invariants import ClusterInvariantChecker, RfpInvariantChecker
+from repro.sim import Simulator, Tracer
+
+
+def make_service(shards=3, replication_factor=2, shard_tracers=None, **kwargs):
+    sim = Simulator()
+    cluster = build_cluster(sim, CLUSTER_EUROSYS17)
+    tracer = Tracer(sim, categories=["cluster"])
+    service = RfpCluster(
+        sim,
+        cluster,
+        shards=shards,
+        cluster_config=ClusterConfig(replication_factor=replication_factor),
+        tracer=tracer,
+        shard_tracers=shard_tracers,
+        **kwargs,
+    )
+    return sim, cluster, tracer, service
+
+
+KEYS = [f"key{i:04d}".encode() for i in range(40)]
+
+
+class TestConfig:
+    def test_replication_factor_validated(self):
+        with pytest.raises(ClusterError):
+            ClusterConfig(replication_factor=0)
+
+    def test_op_timeout_validated(self):
+        with pytest.raises(ClusterError):
+            ClusterConfig(op_timeout_us=0.0)
+
+    def test_needs_enough_machines(self):
+        sim = Simulator()
+        cluster = build_cluster(sim, CLUSTER_EUROSYS17)
+        with pytest.raises(ClusterError):
+            RfpCluster(sim, cluster, shards=2, server_machines=cluster.machines[:1])
+
+    def test_unknown_shard_rejected(self):
+        _, _, _, service = make_service(shards=2)
+        with pytest.raises(ClusterError):
+            service.kill("shard9")
+
+
+class TestRouting:
+    def test_get_put_roundtrip(self):
+        sim, cluster, _, service = make_service()
+        service.preload([(key, b"v" * 32) for key in KEYS])
+        client = service.connect(cluster.machines[3])
+        results = []
+
+        def body():
+            value = yield from client.get(KEYS[0])
+            results.append(value)
+            yield from client.put(KEYS[1], b"fresh")
+            value = yield from client.get(KEYS[1])
+            results.append(value)
+            value = yield from client.get(b"missing")
+            results.append(value)
+
+        sim.process(body())
+        sim.run(until=500.0)
+        assert results == [b"v" * 32, b"fresh", None]
+
+    def test_routes_follow_the_ring(self):
+        sim, cluster, tracer, service = make_service()
+        service.preload([(key, b"v" * 32) for key in KEYS])
+        client = service.connect(cluster.machines[3])
+
+        def body():
+            for key in KEYS[:10]:
+                yield from client.get(key)
+
+        sim.process(body())
+        sim.run(until=500.0)
+        routed = [e.data["shard"] for e in tracer.events(label="route")]
+        assert routed == [service.ring.lookup(key) for key in KEYS[:10]]
+
+    def test_put_writes_every_replica(self):
+        sim, cluster, _, service = make_service(replication_factor=2)
+        service.preload([(key, b"v" * 32) for key in KEYS])
+        client = service.connect(cluster.machines[3])
+
+        def body():
+            yield from client.put(KEYS[5], b"both")
+
+        sim.process(body())
+        sim.run(until=500.0)
+        for shard_name in service.ring.lookup_replicas(KEYS[5], 2):
+            assert service.peek(shard_name, KEYS[5]) == b"both"
+
+    def test_batch_groups_by_shard_and_keeps_order(self):
+        sim, cluster, _, service = make_service()
+        service.preload([(key, b"v" * 32) for key in KEYS])
+        client = service.connect(cluster.machines[3])
+        operations = [("get", KEYS[0]), ("put", KEYS[1], b"w"), ("get", KEYS[1])]
+        out = []
+
+        def body():
+            results = yield from client.execute_batch(operations)
+            out.append(results)
+
+        sim.process(body())
+        sim.run(until=500.0)
+        (results,) = out
+        assert results[0] == b"v" * 32
+        assert results[1] is None
+        # Same-shard ordering: the GET behind the PUT of KEYS[1] sees it.
+        assert results[2] == b"w"
+
+    def test_metrics_count_operations(self):
+        sim, cluster, _, service = make_service()
+        service.preload([(key, b"v" * 32) for key in KEYS])
+        client = service.connect(cluster.machines[3])
+
+        def body():
+            for key in KEYS[:8]:
+                yield from client.get(key)
+
+        sim.process(body())
+        sim.run(until=500.0)
+        assert sum(m.gets.value for m in service.metrics.shards.values()) == 8
+        assert service.metrics.total_operations() == 8
+
+
+class TestFailover:
+    def run_with_kill(self, windows=1500.0, kill_at=400.0):
+        sim = Simulator()
+        cluster = build_cluster(sim, CLUSTER_EUROSYS17)
+        shard_tracers = {f"shard{i}": Tracer(sim, capacity=1) for i in range(3)}
+        rfp_config = RfpConfig(consecutive_slow_calls=1)
+        checkers = {
+            name: RfpInvariantChecker(config=rfp_config).attach(tracer)
+            for name, tracer in shard_tracers.items()
+        }
+        cluster_tracer = Tracer(sim, categories=["cluster"])
+        cluster_checker = ClusterInvariantChecker().attach(cluster_tracer)
+        service = RfpCluster(
+            sim,
+            cluster,
+            shards=3,
+            rfp_config=rfp_config,
+            cost_model=StoreCostModel(jitter_probability=0.0),
+            cluster_config=ClusterConfig(replication_factor=2),
+            tracer=cluster_tracer,
+            shard_tracers=shard_tracers,
+        )
+        service.preload([(key, b"v" * 32) for key in KEYS])
+        acked = {}
+        completed = []
+
+        def body(client, my_keys, client_id):
+            sequence = 0
+            while True:
+                key = my_keys[sequence % len(my_keys)]
+                if sequence % 3 == 2:
+                    sequence += 1
+                    yield from client.put(key, b"w%04d" % sequence)
+                    acked[key] = sequence
+                else:
+                    sequence += 1
+                    yield from client.get(key)
+                completed.append(sim.now)
+
+        for index in range(4):
+            client = service.connect(cluster.machines[3 + index], name=f"c{index}")
+            sim.process(body(client, KEYS[index::4], index))
+        sim.schedule(kill_at, service.kill, "shard1")
+        sim.run(until=windows)
+        return sim, service, cluster_checker, checkers, acked, completed
+
+    def test_kill_triggers_single_failover(self):
+        _, service, _, _, _, _ = self.run_with_kill()
+        assert [event.shard for event in service.failover.events] == ["shard1"]
+        assert service.membership.status("shard1") is ShardStatus.DEAD
+        assert service.ring.nodes == ["shard0", "shard2"]
+
+    def test_operations_continue_after_failover(self):
+        _, service, _, _, _, completed = self.run_with_kill()
+        failover_at = service.failover.last_failover_at_us
+        assert failover_at is not None
+        after = [at for at in completed if at > failover_at + 100.0]
+        assert len(after) > 50
+
+    def test_cluster_invariants_clean(self):
+        _, _, cluster_checker, checkers, _, _ = self.run_with_kill()
+        cluster_checker.assert_clean()
+        assert cluster_checker.events_checked > 0
+        for checker in checkers.values():
+            checker.assert_clean()
+
+    def test_healthy_shards_stay_inbound_only(self):
+        _, service, _, checkers, _, _ = self.run_with_kill()
+        for name in ("shard0", "shard2"):
+            server = service.shards[name].jakiro.server
+            assert server.machine.rnic.outbound_ops == 0
+            checkers[name].check_nic_accounting(
+                server, expect_inbound_only=True, strict_inbound=False
+            )
+            checkers[name].assert_clean()
+
+    def test_stuck_calls_degrade_via_hybrid_rule(self):
+        """Calls stranded on the dead shard burn their fetch retries and
+        switch to server-reply — the §3.2 path, not an ad-hoc abort."""
+        _, service, _, checkers, _, _ = self.run_with_kill()
+        dead = service.shards["shard1"].jakiro.server
+        assert dead.halted
+        switched = [
+            transport.mode.name
+            for client in service._clients
+            for transport in client.shard_client("shard1").transports
+            if transport.mode.name == "SERVER_REPLY"
+        ]
+        assert switched  # at least the in-flight calls degraded
+        checkers["shard1"].assert_clean()
+
+    def test_no_acknowledged_write_lost(self):
+        _, service, _, _, acked, _ = self.run_with_kill()
+        assert acked
+        for key, sequence in acked.items():
+            survivors = service.ring.lookup_replicas(key, 2)
+            values = [service.peek(name, key) for name in survivors]
+            best = max(
+                int(value[1:].decode()) if value and value[:1] == b"w" else 0
+                for value in values
+            )
+            assert best >= sequence
+
+    def test_killing_twice_rejected(self):
+        _, service, _, _, _, _ = self.run_with_kill()
+        with pytest.raises(ClusterError):
+            service.kill("shard1")
+
+
+class TestAdaptive:
+    def test_per_shard_fetch_size_diverges(self):
+        """A shard serving 512 B values settles on a larger F than a shard
+        serving 64 B values — the per-shard half of §3.2.
+
+        (512 B, not 1 KB: past H ≈ 1 KB Eq. 2's half-credit scoring
+        correctly prefers a small first fetch plus a remainder read over
+        one bandwidth-bound large fetch.)
+        """
+        sim, cluster, _, service = make_service(shards=2, replication_factor=1)
+        small, large = [], []
+        for key in (f"key{i:04d}".encode() for i in range(200)):
+            if service.ring.lookup(key) == "shard0":
+                small.append(key)
+                service.preload([(key, b"s" * 64)])
+            else:
+                large.append(key)
+                service.preload([(key, b"L" * 512)])
+        assert small and large
+        clients = [service.connect(cluster.machines[m]) for m in (2, 3)]
+        service.start_adaptive(interval_us=100.0, min_samples=16)
+
+        def body(client, keys):
+            index = 0
+            while True:
+                yield from client.get(keys[index % len(keys)])
+                index += 1
+
+        for client in clients:
+            sim.process(body(client, small))
+            sim.process(body(client, large))
+        sim.run(until=1200.0)
+        f_small = service.adaptive["shard0"].current_parameters[1]
+        f_large = service.adaptive["shard1"].current_parameters[1]
+        assert f_large >= 512
+        assert f_small < f_large
+
+    def test_start_adaptive_requires_clients(self):
+        _, _, _, service = make_service(shards=2)
+        with pytest.raises(ClusterError):
+            service.start_adaptive()

@@ -1,0 +1,109 @@
+"""Unit tests for heartbeat/lease failure detection."""
+
+import pytest
+
+from repro.cluster import Membership, ShardStatus
+from repro.errors import ClusterError
+from repro.sim import Simulator, Tracer
+
+
+def make_membership(**kwargs):
+    sim = Simulator()
+    tracer = Tracer(sim, categories=["cluster"])
+    membership = Membership(sim, tracer=tracer, **kwargs)
+    return sim, tracer, membership
+
+
+def drive(sim, membership, node, beat_every_us, stop_at_us, until_us):
+    def beats():
+        while sim.now < stop_at_us:
+            membership.beat(node)
+            yield sim.timeout(beat_every_us)
+
+    membership.start()
+    sim.process(beats())
+    sim.run(until=until_us)
+
+
+class TestWiring:
+    def test_lease_must_exceed_heartbeat(self):
+        with pytest.raises(ClusterError):
+            make_membership(heartbeat_interval_us=20.0, lease_timeout_us=20.0)
+
+    def test_double_register_rejected(self):
+        _, _, membership = make_membership()
+        membership.register("s0")
+        with pytest.raises(ClusterError):
+            membership.register("s0")
+
+    def test_unknown_shard_rejected(self):
+        _, _, membership = make_membership()
+        with pytest.raises(ClusterError):
+            membership.status("ghost")
+
+
+class TestDetection:
+    def test_beating_shard_stays_healthy(self):
+        sim, _, membership = make_membership(
+            heartbeat_interval_us=20.0, lease_timeout_us=60.0
+        )
+        membership.register("s0")
+        drive(sim, membership, "s0", 20.0, stop_at_us=1000.0, until_us=500.0)
+        assert membership.status("s0") is ShardStatus.HEALTHY
+        assert membership.is_routable("s0")
+
+    def test_silent_shard_declared_dead_after_lease(self):
+        sim, tracer, membership = make_membership(
+            heartbeat_interval_us=20.0, lease_timeout_us=60.0
+        )
+        membership.register("s0")
+        drive(sim, membership, "s0", 20.0, stop_at_us=200.0, until_us=500.0)
+        assert membership.status("s0") is ShardStatus.DEAD
+        (death,) = tracer.events(label="dead")
+        # Last beat at t=180, lease 60 -> dead on the first detector tick
+        # after t=240.
+        assert 240.0 <= death.at_us <= 280.0
+
+    def test_suspect_heals_on_next_beat(self):
+        sim, tracer, membership = make_membership()
+        membership.register("s0")
+        membership.report_suspect("s0", reason="op timed out")
+        assert membership.status("s0") is ShardStatus.SUSPECT
+        assert not membership.is_routable("s0")
+        membership.beat("s0")
+        assert membership.status("s0") is ShardStatus.HEALTHY
+        assert [e.label for e in tracer.events()] == ["suspect", "recovered"]
+
+    def test_dead_is_sticky(self):
+        _, _, membership = make_membership()
+        membership.register("s0")
+        membership.mark_dead("s0", reason="killed")
+        membership.beat("s0")
+        membership.report_suspect("s0")
+        assert membership.status("s0") is ShardStatus.DEAD
+
+    def test_suspect_only_from_healthy(self):
+        _, tracer, membership = make_membership()
+        membership.register("s0")
+        membership.report_suspect("s0")
+        membership.report_suspect("s0")  # second report is a no-op
+        assert len(tracer.events(label="suspect")) == 1
+
+    def test_listeners_see_transitions(self):
+        _, _, membership = make_membership()
+        membership.register("s0")
+        seen = []
+        membership.subscribe(lambda node, status: seen.append((node, status)))
+        membership.report_suspect("s0")
+        membership.mark_dead("s0")
+        assert seen == [
+            ("s0", ShardStatus.SUSPECT),
+            ("s0", ShardStatus.DEAD),
+        ]
+
+    def test_healthy_nodes_sorted(self):
+        _, _, membership = make_membership()
+        for name in ("s2", "s0", "s1"):
+            membership.register(name)
+        membership.mark_dead("s1")
+        assert membership.healthy_nodes() == ["s0", "s2"]

@@ -1,0 +1,98 @@
+"""Property-based tests for the consistent-hash ring.
+
+Three families of properties back the cluster router's routing claims:
+balance (no node starves with enough vnodes), remap minimality (a
+membership change only moves the keys it must), and determinism (a fixed
+seed yields a fixed routing decision sequence).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import HashRing
+from repro.sim import seeded_rng
+
+node_counts = st.integers(min_value=2, max_value=8)
+vnode_counts = st.integers(min_value=100, max_value=256)
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+def nodes(count):
+    return [f"shard{i}" for i in range(count)]
+
+
+def random_keys(seed, count=2000):
+    rng = seeded_rng(seed)
+    return [bytes(row) for row in rng.integers(0, 256, size=(count, 12), dtype="u1")]
+
+
+class TestBalance:
+    @settings(max_examples=25, deadline=None)
+    @given(node_counts, vnode_counts, seeds)
+    def test_load_ratio_bounded_with_enough_vnodes(self, count, vnodes, seed):
+        """With >=100 vnodes no node sees more than ~4x the least-loaded
+        node -- the guarantee that makes per-shard throughput comparable."""
+        ring = HashRing(nodes(count), vnodes=vnodes)
+        loads = ring.load_counts(random_keys(seed))
+        assert set(loads) == set(nodes(count))
+        assert min(loads.values()) > 0
+        assert max(loads.values()) / min(loads.values()) <= 4.0
+
+    @settings(max_examples=25, deadline=None)
+    @given(node_counts, vnode_counts, seeds)
+    def test_no_node_hoards_the_keyspace(self, count, vnodes, seed):
+        ring = HashRing(nodes(count), vnodes=vnodes)
+        loads = ring.load_counts(keys := random_keys(seed))
+        assert max(loads.values()) <= 3.0 * len(keys) / count
+
+
+class TestRemapMinimality:
+    @settings(max_examples=25, deadline=None)
+    @given(node_counts, seeds)
+    def test_join_moves_only_to_the_new_node(self, count, seed):
+        """Keys that change owner on a join all land on the joiner, and
+        roughly 1/(N+1) of the keyspace moves -- never a full reshuffle."""
+        ring = HashRing(nodes(count), vnodes=128)
+        keys = random_keys(seed)
+        before = {key: ring.lookup(key) for key in keys}
+        ring.add_node("joiner")
+        moved = [key for key in keys if ring.lookup(key) != before[key]]
+        assert all(ring.lookup(key) == "joiner" for key in moved)
+        ideal = len(keys) / (count + 1)
+        assert len(moved) <= 2.5 * ideal
+
+    @settings(max_examples=25, deadline=None)
+    @given(node_counts, seeds)
+    def test_leave_moves_only_the_leavers_keys(self, count, seed):
+        """Failover semantics: removing a node relocates exactly the keys
+        it owned; every other key keeps its owner."""
+        ring = HashRing(nodes(count), vnodes=128)
+        keys = random_keys(seed)
+        before = {key: ring.lookup(key) for key in keys}
+        ring.remove_node("shard0")
+        for key in keys:
+            if before[key] == "shard0":
+                assert ring.lookup(key) != "shard0"
+            else:
+                assert ring.lookup(key) == before[key]
+
+
+class TestDeterminism:
+    @settings(max_examples=25, deadline=None)
+    @given(node_counts, seeds)
+    def test_fixed_seed_fixed_routing(self, count, seed):
+        """Two rings built independently route a seeded key stream
+        identically -- the repo-wide determinism contract."""
+        keys = random_keys(seed, count=500)
+        first = HashRing(nodes(count), vnodes=128)
+        second = HashRing(list(reversed(nodes(count))), vnodes=128)
+        assert [first.lookup(k) for k in keys] == [second.lookup(k) for k in keys]
+
+    @settings(max_examples=25, deadline=None)
+    @given(node_counts, seeds, st.integers(min_value=1, max_value=4))
+    def test_replica_sets_deterministic(self, count, seed, factor):
+        ring = HashRing(nodes(count), vnodes=128)
+        for key in random_keys(seed, count=200):
+            assert ring.lookup_replicas(key, factor) == ring.lookup_replicas(
+                key, factor
+            )

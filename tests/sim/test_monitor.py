@@ -38,6 +38,25 @@ class TestTally:
             Tally().mean()
         with pytest.raises(ValueError):
             Tally().percentile(50)
+        with pytest.raises(ValueError):
+            Tally().minimum()
+        with pytest.raises(ValueError):
+            Tally().maximum()
+
+    def test_empty_tally_default_readout(self):
+        # Reporting code that must survive idle instruments (an unloaded
+        # cluster shard) passes an explicit default instead of crashing.
+        tally = Tally("idle")
+        assert np.isnan(tally.mean(default=float("nan")))
+        assert np.isnan(tally.percentile(99, default=float("nan")))
+        assert tally.minimum(default=0.0) == 0.0
+        assert tally.maximum(default=-1.0) == -1.0
+
+    def test_default_ignored_when_samples_exist(self):
+        tally = Tally()
+        tally.record(7.0)
+        assert tally.mean(default=float("nan")) == pytest.approx(7.0)
+        assert tally.percentile(50, default=0.0) == pytest.approx(7.0)
 
     def test_cdf_monotone_and_normalized(self):
         tally = Tally()

@@ -8,6 +8,7 @@ just an optional CI step.
 import os
 
 from repro.lint import lint_paths
+from repro.lint.engine import iter_python_files
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
@@ -21,3 +22,18 @@ def test_src_and_benchmarks_are_lint_clean():
     assert violations == [], "determinism lint found violations:\n" + "\n".join(
         v.format() for v in violations
     )
+
+
+def test_cluster_package_is_covered_by_discovery():
+    """The gate must actually see ``repro.cluster`` — a discovery miss
+    would make the first assertion pass vacuously for the new package."""
+    src = os.path.join(REPO_ROOT, "src")
+    discovered = set(iter_python_files([src]))
+    cluster_dir = os.path.join(src, "repro", "cluster")
+    expected = {
+        os.path.join(cluster_dir, name)
+        for name in os.listdir(cluster_dir)
+        if name.endswith(".py")
+    }
+    assert expected  # the package exists and has modules
+    assert expected <= discovered
