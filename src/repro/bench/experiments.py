@@ -71,6 +71,11 @@ def _register() -> Dict[str, Experiment]:
             cluster_runs.run_ext_cluster_failover,
         ),
         (
+            "ext-cluster-rejoin",
+            "Cluster: crash, recovery transfer, and ring rejoin (RF=2)",
+            cluster_runs.run_ext_cluster_rejoin,
+        ),
+        (
             "ext-ud-rpc",
             "Extension: HERD-style UC/UD RPC vs RC paradigms (§5)",
             extensions.run_ext_ud_rpc,

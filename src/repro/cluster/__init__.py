@@ -3,14 +3,18 @@
 Composes N independent :class:`~repro.kv.jakiro.Jakiro` shards into one
 addressable service: consistent-hash key placement (:mod:`.ring`),
 heartbeat/lease failure detection (:mod:`.membership`), replica takeover
-on shard death (:mod:`.failover`), client-side routing with per-shard
-(R, F) adaptation (:mod:`.router`), and per-shard instruments
-(:mod:`.metrics`).  See ``docs/cluster.md`` for the design.
+on shard death (:mod:`.failover`), recovery/rejoin range streaming
+(:mod:`.recovery`), deterministic fault injection (:mod:`.faults`),
+client-side routing with per-shard (R, F) adaptation (:mod:`.router`),
+and per-shard instruments (:mod:`.metrics`).  See ``docs/cluster.md``
+for the design.
 """
 
-from repro.cluster.failover import FailoverCoordinator, FailoverEvent
+from repro.cluster.failover import FailoverCoordinator, FailoverEvent, ReinstateEvent
+from repro.cluster.faults import Fault, FaultPlan
 from repro.cluster.membership import Membership, ShardStatus
 from repro.cluster.metrics import ClusterMetrics, ShardMetrics
+from repro.cluster.recovery import RecoveryConfig, RecoveryCoordinator, RecoveryEvent
 from repro.cluster.ring import HashRing
 from repro.cluster.router import ClusterClient, ClusterConfig, RfpCluster, ShardHandle
 
@@ -20,6 +24,12 @@ __all__ = [
     "ShardStatus",
     "FailoverCoordinator",
     "FailoverEvent",
+    "ReinstateEvent",
+    "RecoveryConfig",
+    "RecoveryCoordinator",
+    "RecoveryEvent",
+    "Fault",
+    "FaultPlan",
     "ClusterMetrics",
     "ShardMetrics",
     "ClusterConfig",

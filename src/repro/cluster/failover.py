@@ -33,10 +33,11 @@ from typing import List, Optional
 
 from repro.cluster.membership import Membership, ShardStatus
 from repro.cluster.ring import HashRing
+from repro.errors import ClusterError
 from repro.sim.core import Simulator
 from repro.sim.trace import Tracer
 
-__all__ = ["FailoverEvent", "FailoverCoordinator"]
+__all__ = ["FailoverEvent", "ReinstateEvent", "FailoverCoordinator"]
 
 
 @dataclass(frozen=True)
@@ -46,6 +47,15 @@ class FailoverEvent:
     at_us: float
     shard: str
     successors: List[str]
+
+
+@dataclass(frozen=True)
+class ReinstateEvent:
+    """One completed re-entry: when, who rejoined, the restored ring."""
+
+    at_us: float
+    shard: str
+    ring: List[str]
 
 
 class FailoverCoordinator:
@@ -63,6 +73,7 @@ class FailoverCoordinator:
         self.membership = membership
         self.tracer = tracer
         self.events: List[FailoverEvent] = []
+        self.reinstatements: List[ReinstateEvent] = []
         membership.subscribe(self._on_status_change)
 
     @property
@@ -95,5 +106,25 @@ class FailoverCoordinator:
                 vnodes=self.ring.vnodes,
             )
 
+    def reinstate(self, node: str) -> List[str]:
+        """Reverse rebalance: re-insert a recovered shard's vnodes.
+
+        The exact inverse of the failover surgery — adding ``node`` back
+        re-routes precisely the ranges that fell to its successors at
+        death (remap minimality), restoring the pre-crash ring, since
+        placement is a pure function of membership.  Called by the
+        recovery coordinator in the same atomic instant as the membership
+        promotion; the coordinator traces the paired ``handoff`` event.
+        """
+        if node in self.ring:
+            raise ClusterError(f"shard {node!r} is already on the ring")
+        self.ring.add_node(node)
+        event = ReinstateEvent(self.sim.now, node, self.ring.nodes)
+        self.reinstatements.append(event)
+        return event.ring
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"FailoverCoordinator({len(self.events)} failovers)"
+        return (
+            f"FailoverCoordinator({len(self.events)} failovers, "
+            f"{len(self.reinstatements)} reinstatements)"
+        )

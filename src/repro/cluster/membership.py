@@ -11,14 +11,26 @@ client population stops routing to it long before the lease expires.
 State machine::
 
     HEALTHY --report_suspect--> SUSPECT --lease expiry--> DEAD
-       ^                           |
-       +----------beat------------+        (DEAD is sticky: a dead shard
-                                            must re-join explicitly)
+       ^                           |                        |
+       +----------beat------------+                       rejoin
+       ^                                                    |
+       +-------------promote-------------- RECOVERING <-----+
+                                           (lease expiry --> DEAD)
 
 A false suspicion (the shard was merely slow) heals on its next
-heartbeat; ``DEAD`` is terminal so failover decisions never flap.
-Status changes are traced under the ``cluster`` category and pushed to
-subscribed listeners (the failover coordinator).
+heartbeat; ``DEAD`` never heals on its own — a dead shard must
+*explicitly* re-enter through :meth:`rejoin`, which re-grants its lease
+and parks it in ``RECOVERING``: alive (heartbeating, lease-checked) but
+unroutable until the recovery coordinator finishes streaming its ranges
+back and calls :meth:`promote`.  A recovering shard that goes silent
+falls back to ``DEAD`` like any other, so suspect/lease semantics are
+not weakened by the rejoin path.  Status changes are traced under the
+``cluster`` category (``suspect`` / ``recovered`` / ``dead`` /
+``rejoin``) and pushed to subscribed listeners (the failover and
+recovery coordinators).  The ``RECOVERING -> HEALTHY`` promotion is
+deliberately *not* traced here: the recovery coordinator records the
+``handoff`` event at the same instant, carrying the transfer provenance
+(donors, watermark, restored ring) the invariant checker audits.
 """
 
 from __future__ import annotations
@@ -39,6 +51,9 @@ class ShardStatus(enum.Enum):
     HEALTHY = 0
     SUSPECT = 1
     DEAD = 2
+    #: Re-admitted after death, streaming its ranges back; alive
+    #: (heartbeating, lease-checked) but not routable.
+    RECOVERING = 3
 
 
 #: ``listener(node, status)`` — invoked on every status change.
@@ -117,7 +132,13 @@ class Membership:
     # ------------------------------------------------------------------
 
     def beat(self, node: str) -> None:
-        """One heartbeat from ``node``; heals a false suspicion."""
+        """One heartbeat from ``node``; heals a false suspicion.
+
+        A beat refreshes the lease of a ``RECOVERING`` shard without
+        touching its status (only :meth:`promote` makes it routable
+        again), and never resurrects a ``DEAD`` shard — death requires an
+        explicit :meth:`rejoin`.
+        """
         status = self.status(node)
         self._last_beat_us[node] = self.sim.now
         if status is ShardStatus.SUSPECT:
@@ -129,9 +150,42 @@ class Membership:
             self._transition(node, ShardStatus.SUSPECT, reason)
 
     def mark_dead(self, node: str, reason: str = "") -> None:
-        """Declare ``node`` dead (terminal)."""
+        """Declare ``node`` dead (heals only through :meth:`rejoin`)."""
         if self.status(node) is not ShardStatus.DEAD:
             self._transition(node, ShardStatus.DEAD, reason)
+
+    def rejoin(self, node: str, reason: str = "") -> None:
+        """Re-admit a repaired ``node`` as RECOVERING with a fresh lease.
+
+        Legal only from ``DEAD`` — the one sanctioned exit from it.  The
+        shard stays unroutable until :meth:`promote`; its re-granted
+        lease puts it back under detector watch immediately, so a shard
+        that crashes again mid-recovery is re-declared ``DEAD``.
+        """
+        if self.status(node) is not ShardStatus.DEAD:
+            raise ClusterError(
+                f"shard {node!r} cannot rejoin from "
+                f"{self.status(node).name} (only DEAD shards rejoin)"
+            )
+        self._last_beat_us[node] = self.sim.now
+        self._transition(node, ShardStatus.RECOVERING, reason)
+
+    def promote(self, node: str) -> None:
+        """Recovery finished: ``RECOVERING`` becomes routable ``HEALTHY``.
+
+        Called by the recovery coordinator in the same atomic instant as
+        the ring re-entry; the coordinator traces the paired ``handoff``
+        event (see the module docstring), so this transition itself is
+        silent on the tracer but still notifies status listeners.
+        """
+        if self.status(node) is not ShardStatus.RECOVERING:
+            raise ClusterError(
+                f"shard {node!r} cannot be promoted from "
+                f"{self.status(node).name} (only RECOVERING shards promote)"
+            )
+        self._status[node] = ShardStatus.HEALTHY
+        for listener in self._listeners:
+            listener(node, ShardStatus.HEALTHY)
 
     # ------------------------------------------------------------------
     # Internals
@@ -144,6 +198,7 @@ class Membership:
                 ShardStatus.HEALTHY: "recovered",
                 ShardStatus.SUSPECT: "suspect",
                 ShardStatus.DEAD: "dead",
+                ShardStatus.RECOVERING: "rejoin",
             }[status]
             self.tracer.record("cluster", label, shard=node, reason=reason)
         for listener in self._listeners:

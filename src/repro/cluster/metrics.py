@@ -33,6 +33,19 @@ class ShardMetrics:
     #: attempt timed out against another (failing) shard.
     failover_ops: Counter = field(default_factory=lambda: Counter("failover_ops"))
     latency_us: Tally = field(default_factory=lambda: Tally("latency_us"))
+    #: Recovery-transfer progress: batches pulled by this shard while it
+    #: was RECOVERING, and the keys/bytes they carried.
+    transfer_batches: Counter = field(
+        default_factory=lambda: Counter("transfer_batches")
+    )
+    transferred_keys: Counter = field(
+        default_factory=lambda: Counter("transferred_keys")
+    )
+    transferred_bytes: Counter = field(
+        default_factory=lambda: Counter("transferred_bytes")
+    )
+    #: Completed crash→rejoin→handoff cycles for this shard.
+    recoveries: Counter = field(default_factory=lambda: Counter("recoveries"))
 
     @property
     def operations(self) -> int:
@@ -75,6 +88,17 @@ class ClusterMetrics:
     def record_timeout(self, name: str) -> None:
         self.shard(name).timeouts.increment()
 
+    def record_transfer(self, name: str, keys: int, transferred_bytes: int) -> None:
+        """One recovery batch pulled by the rejoining shard ``name``."""
+        metrics = self.shard(name)
+        metrics.transfer_batches.increment()
+        metrics.transferred_keys.increment(keys)
+        metrics.transferred_bytes.increment(transferred_bytes)
+
+    def record_recovery(self, name: str) -> None:
+        """Shard ``name`` finished a recovery and re-entered the ring."""
+        self.shard(name).recoveries.increment()
+
     def total_operations(self) -> int:
         return sum(m.operations for m in self.shards.values())
 
@@ -90,6 +114,8 @@ class ClusterMetrics:
                     metrics.puts.value,
                     metrics.timeouts.value,
                     metrics.failover_ops.value,
+                    metrics.transferred_keys.value,
+                    metrics.recoveries.value,
                     round(metrics.latency_us.mean(default=_NAN), 3),
                     round(metrics.latency_us.percentile(99, default=_NAN), 3),
                 ]
@@ -103,6 +129,8 @@ class ClusterMetrics:
         "puts",
         "timeouts",
         "failover_ops",
+        "transferred_keys",
+        "recoveries",
         "mean_latency_us",
         "p99_latency_us",
     ]

@@ -71,6 +71,19 @@ class HashRing:
         self._nodes.remove(node)
         self._tokens = [entry for entry in self._tokens if entry[1] != node]
 
+    def with_node(self, node: str) -> "HashRing":
+        """A copy of this ring with ``node`` joined (the original is
+        untouched).
+
+        Placement is a pure function of membership, so the copy *is* the
+        ring the cluster will have once ``node`` re-enters — recovery
+        plans its range transfers against it, and re-adding a previously
+        removed shard restores the pre-crash ring exactly.
+        """
+        restored = HashRing(self._nodes, vnodes=self.vnodes)
+        restored.add_node(node)
+        return restored
+
     @property
     def nodes(self) -> List[str]:
         """Current members, sorted by name."""

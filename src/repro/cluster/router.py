@@ -33,8 +33,9 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Generator, List, Optional, Sequence, Tuple
 
 from repro.cluster.failover import FailoverCoordinator
-from repro.cluster.membership import Membership
+from repro.cluster.membership import Membership, ShardStatus
 from repro.cluster.metrics import ClusterMetrics
+from repro.cluster.recovery import RecoveryConfig, RecoveryCoordinator
 from repro.cluster.ring import HashRing
 from repro.core.adaptive import AdaptiveParameterController
 from repro.core.config import RfpConfig
@@ -178,6 +179,10 @@ class RfpCluster:
             self.membership.register(shard_name)
         self.failover = FailoverCoordinator(sim, self.ring, self.membership, tracer)
         self.metrics = ClusterMetrics(sorted(self.shards))
+        #: shard name -> its in-flight recovery (at most one per shard).
+        self._active_recoveries: Dict[str, RecoveryCoordinator] = {}
+        #: Every recovery ever started, completed and aborted alike.
+        self.recoveries: List[RecoveryCoordinator] = []
         self._clients: List["ClusterClient"] = []
         self.adaptive: Dict[str, AdaptiveParameterController] = {}
         for handle in self.shards.values():
@@ -232,6 +237,60 @@ class RfpCluster:
         handle.jakiro.server.halt()
         if self.tracer is not None:
             self.tracer.record("cluster", "shard_killed", shard=shard_name)
+
+    def repair(
+        self,
+        shard_name: str,
+        recovery_config: Optional[RecoveryConfig] = None,
+    ) -> RecoveryCoordinator:
+        """Bring a crashed shard back: reboot, rejoin, stream, re-enter.
+
+        The reboot loses the shard's volatile store, so everything it
+        will own again must come back over the wire: the returned
+        :class:`RecoveryCoordinator` streams the ranges from the replicas
+        that absorbed them and performs the atomic ring re-entry when the
+        watermark catches up.  Until then the shard is ``RECOVERING`` —
+        heartbeating (a second crash mid-transfer is re-detected and
+        aborts the recovery) but unroutable, so it never serves a stale
+        value.  Requires the failure detector to have declared the shard
+        ``DEAD`` (i.e. the failover already ran); repairing a merely
+        SUSPECT shard is a race with its own lease and is rejected.
+        """
+        handle = self._handle(shard_name)
+        if handle.alive:
+            raise ClusterError(f"shard {shard_name!r} is not dead")
+        if self.membership.status(shard_name) is not ShardStatus.DEAD:
+            raise ClusterError(
+                f"shard {shard_name!r} is "
+                f"{self.membership.status(shard_name).name}, not DEAD — "
+                "repair races the failure detector"
+            )
+        if shard_name in self._active_recoveries:
+            raise ClusterError(f"shard {shard_name!r} is already recovering")
+        handle.jakiro.restart()
+        self.membership.rejoin(shard_name, reason="repaired")
+        handle.alive = True
+        self.sim.process(
+            self._heartbeat(handle), name=f"{self.name}.{handle.name}.heartbeat"
+        )
+        for client in self._clients:
+            client.reconnect(shard_name)
+        recovery = RecoveryCoordinator(self, shard_name, config=recovery_config)
+        self._active_recoveries[shard_name] = recovery
+        self.recoveries.append(recovery)
+        recovery.start()
+        return recovery
+
+    def note_put(self, key: bytes, value: bytes) -> None:
+        """Router hook: one PUT fully acknowledged.  Recoveries in flight
+        forward the write to their rejoiner if its restored ranges cover
+        the key, so the shard catches up on the live stream instead of
+        chasing a dirty set."""
+        for recovery in self._active_recoveries.values():
+            recovery.note_write(key, value)
+
+    def _recovery_finished(self, shard_name: str) -> None:
+        self._active_recoveries.pop(shard_name, None)
 
     def _handle(self, shard_name: str) -> ShardHandle:
         try:
@@ -341,6 +400,24 @@ class ClusterClient:
     def shard_client(self, shard_name: str) -> JakiroClient:
         return self._clients[shard_name]
 
+    def reconnect(self, shard_name: str) -> None:
+        """Fresh transports to a rebooted shard.
+
+        The old :class:`JakiroClient`'s transports are unusable — their
+        stuck in-flight calls degraded through the hybrid rule and own
+        those connections forever — so rejoin means new connections, the
+        way a real client re-dials a rebooted server.  The client thread
+        is already registered with its NIC's contention model, so the new
+        transports don't register again.
+        """
+        handle = self.service.shards[shard_name]
+        self._clients[shard_name] = handle.jakiro.connect(
+            self.machine,
+            name=f"{self.name}.{shard_name}",
+            register_issuer=False,
+        )
+        self._broken.discard(shard_name)
+
     # ------------------------------------------------------------------
     # The KV surface
     # ------------------------------------------------------------------
@@ -360,7 +437,15 @@ class ClusterClient:
 
     def put(self, key: bytes, value: bytes) -> Generator:
         """Process body: primary-backup PUT; acknowledged only after every
-        healthy replica applied the write."""
+        healthy replica applied the write.
+
+        Before acknowledging, the replica set is re-read: if the ring
+        changed underneath the call (a recovered shard re-entered
+        mid-PUT), the write repeats against the new set.  Without the
+        re-check a PUT issued just before a recovery handoff could
+        acknowledge without the rejoined shard ever seeing the value —
+        the one window the recovery watermark cannot cover on its own.
+        """
         for attempt in range(self.service.config.max_op_retries):
             replicas = self._healthy_replicas(key)
             for shard_name in replicas:
@@ -370,6 +455,15 @@ class ClusterClient:
                 if result is _TIMED_OUT:
                     break
             else:
+                try:
+                    current = set(self._healthy_replicas(key))
+                except ClusterError:
+                    # Everything turned suspect since the last write; the
+                    # data is on every replica that was healthy, so ack.
+                    current = set()
+                if not current <= set(replicas):
+                    continue
+                self.service.note_put(key, value)
                 return None
         raise ClusterError(
             f"PUT exhausted {self.service.config.max_op_retries} routing attempts"

@@ -160,9 +160,14 @@ class RfpServer:
         self._stores: List[Store] = [Store(sim) for _ in range(threads)]
         self._channels: List[ClientChannel] = []
         self._next_thread = 0
+        self._thread_procs = []
         for thread_id, store in enumerate(self._stores):
             machine.rnic.register_issuer()
-            sim.process(self._thread_body(thread_id, store), name=f"{name}.t{thread_id}")
+            self._thread_procs.append(
+                sim.process(
+                    self._thread_body(thread_id, store), name=f"{name}.t{thread_id}"
+                )
+            )
 
     # ------------------------------------------------------------------
     # Connection management
@@ -220,6 +225,29 @@ class RfpServer:
     @property
     def halted(self) -> bool:
         return self._halted
+
+    def restart(self) -> None:
+        """Reboot a halted server's CPU side: worker threads serve again.
+
+        Requests that were queued (delivered but unserved) when the host
+        crashed lived in volatile memory, so the reboot drops them —
+        their clients long since degraded through the hybrid rule and
+        abandoned those connections.  Worker threads that exited on the
+        halt are respawned; threads still parked on an empty queue simply
+        resume serving.  The NIC's issuer registration survives (same
+        cores, same contention), so nothing is re-registered.
+        """
+        if not self._halted:
+            raise ProtocolError(f"restart of {self.name!r}: server is not halted")
+        for store in self._stores:
+            store.clear()
+        self._halted = False
+        for thread_id, store in enumerate(self._stores):
+            if self._thread_procs[thread_id].finished:
+                self._thread_procs[thread_id] = self.sim.process(
+                    self._thread_body(thread_id, store),
+                    name=f"{self.name}.t{thread_id}",
+                )
 
     def _thread_body(self, thread_id: int, store: Store):
         sim = self.sim

@@ -126,6 +126,15 @@ class Jakiro:
         for key, value in pairs:
             self.store.put(partition_of(key, self.store.partitions), key, value)
 
+    def restart(self) -> None:
+        """Reboot after a :meth:`RfpServer.halt` crash: worker threads
+        serve again and the store comes back *empty* — host memory is
+        volatile, so every resident pair died with the machine.  The
+        cluster's recovery coordinator streams the shard's ranges back
+        from replicas before it rejoins the ring."""
+        self.server.restart()
+        self.store.clear()
+
     # ------------------------------------------------------------------
     # RPC handlers (run on the owning server thread)
     # ------------------------------------------------------------------

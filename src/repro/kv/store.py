@@ -17,7 +17,7 @@ long process time" (§3.2, Table 3).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -167,6 +167,23 @@ class JakiroStore:
             for partition in self._buckets
             for bucket in partition
         )
+
+    def items(self) -> Iterator[Tuple[bytes, bytes]]:
+        """Every resident ``(key, value)`` pair, in deterministic
+        (partition, bucket, slot) order — the enumeration the cluster's
+        recovery coordinator streams from donor shards.  Charges no cost
+        and does not touch LRU recency."""
+        for partition in self._buckets:
+            for bucket in partition:
+                for slot in bucket:
+                    yield slot.key, slot.value
+
+    def clear(self) -> None:
+        """Drop every resident pair (a cold restart loses host memory);
+        counters survive, mirroring persistent monitoring."""
+        for partition in self._buckets:
+            for index in range(len(partition)):
+                partition[index] = []
 
     def partition_sizes(self) -> Dict[int, int]:
         return {

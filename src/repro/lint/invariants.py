@@ -33,7 +33,7 @@ exact simulated time the protocol breaks.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.config import RfpConfig
 from repro.core.headers import RESPONSE_HEADER_BYTES
@@ -435,11 +435,23 @@ class ClusterInvariantChecker:
     2. **Status machine** — ``suspect`` only from healthy, ``recovered``
        only from suspect (``DEAD`` is sticky), ``dead`` never twice.
     3. **Failover discipline** — a ``failover`` event names a shard that
-       was declared ``dead`` first, happens at most once per shard, and
-       its successor list excludes the dead shard; the paired
-       ``rebalance`` event agrees on the survivor set.
+       was declared ``dead`` first, happens at most once per live
+       incarnation of a shard, and its successor list excludes the dead
+       shard; the paired ``rebalance`` event agrees on the survivor set.
     4. **Post-failover silence** — once a shard failed over, no further
-       operation is routed to it.
+       operation is routed to it until a ``handoff`` re-admits it.
+    5. **Rejoin discipline** — ``rejoin`` is legal only from ``DEAD``
+       (the repair path never shortcuts the failure detector); a
+       re-declared ``dead`` aborts the recovery.
+    6. **Transfer watermark** — ``transfer`` batches are legal only
+       while the shard is ``RECOVERING``, come from a healthy donor that
+       is not the shard itself, keep the transfer ``target`` constant,
+       and advance the ``watermark`` monotonically up to ``target``.
+    7. **Handoff completeness** — ``handoff`` is legal only from
+       ``RECOVERING``, only at ``watermark == target`` (the shard caught
+       up on every range it owns plus writes accepted meanwhile), and
+       its restored ring must contain the shard.  A route to a
+       ``RECOVERING`` shard is flagged as a read below the watermark.
 
     Like :class:`RfpInvariantChecker`, violations are collected by
     default; ``halt_on_violation=True`` raises at the exact simulated
@@ -447,6 +459,7 @@ class ClusterInvariantChecker:
     """
 
     _HEALTHY, _SUSPECT, _DEAD = "HEALTHY", "SUSPECT", "DEAD"
+    _RECOVERING = "RECOVERING"
 
     def __init__(self, halt_on_violation: bool = False) -> None:
         self.halt_on_violation = halt_on_violation
@@ -455,6 +468,8 @@ class ClusterInvariantChecker:
         self._status: Dict[str, str] = {}
         self._failed_over: set = set()
         self.routes_per_shard: Dict[str, int] = {}
+        #: Last seen (watermark, target) per RECOVERING shard.
+        self._transfer_progress: Dict[str, Tuple[int, int]] = {}
         self._handlers: Dict[str, Callable[[TraceEvent], None]] = {
             "route": self._on_route,
             "suspect": self._on_suspect,
@@ -462,6 +477,10 @@ class ClusterInvariantChecker:
             "dead": self._on_dead,
             "failover": self._on_failover,
             "rebalance": self._on_rebalance,
+            "rejoin": self._on_rejoin,
+            "transfer": self._on_transfer,
+            "handoff": self._on_handoff,
+            "transfer_abort": self._on_transfer_abort,
         }
 
     # ------------------------------------------------------------------
@@ -500,7 +519,14 @@ class ClusterInvariantChecker:
         shard = event.data["shard"]
         self.routes_per_shard[shard] = self.routes_per_shard.get(shard, 0) + 1
         status = self._state(shard)
-        if status != self._HEALTHY:
+        if status == self._RECOVERING:
+            watermark, target = self._transfer_progress.get(shard, (0, 0))
+            self._violate(
+                event,
+                f"operation routed to RECOVERING shard {shard!r} below "
+                f"its watermark ({watermark}/{target} keys transferred)",
+            )
+        elif status != self._HEALTHY:
             self._violate(
                 event,
                 f"operation routed to shard {shard!r} while it is {status}",
@@ -568,6 +594,101 @@ class ClusterInvariantChecker:
                 f"rebalance survivor set still contains the removed "
                 f"shard {removed!r}",
             )
+
+    def _on_rejoin(self, event: TraceEvent) -> None:
+        shard = event.data["shard"]
+        status = self._state(shard)
+        if status != self._DEAD:
+            self._violate(
+                event,
+                f"shard {shard!r} rejoined from {status} "
+                "(repair must not shortcut the failure detector)",
+            )
+        self._status[shard] = self._RECOVERING
+        self._transfer_progress[shard] = (0, 0)
+
+    def _on_transfer(self, event: TraceEvent) -> None:
+        shard = event.data["shard"]
+        donor = event.data.get("donor", "")
+        watermark = int(event.data.get("watermark", 0))
+        target = int(event.data.get("target", 0))
+        status = self._state(shard)
+        if status != self._RECOVERING:
+            self._violate(
+                event,
+                f"transfer batch for shard {shard!r} while it is {status}",
+            )
+        if donor == shard:
+            self._violate(
+                event, f"shard {shard!r} cannot donate ranges to itself"
+            )
+        elif self._state(donor) != self._HEALTHY:
+            self._violate(
+                event,
+                f"transfer donor {donor!r} is {self._state(donor)} "
+                "(only healthy shards donate)",
+            )
+        last_watermark, last_target = self._transfer_progress.get(shard, (0, 0))
+        # The target may *grow* between batches (catch-up writes extend
+        # the plan) but can never shrink — keys don't un-own themselves.
+        if target < last_target:
+            self._violate(
+                event,
+                f"transfer target for {shard!r} shrank "
+                f"{last_target} -> {target}",
+            )
+        if watermark < last_watermark:
+            self._violate(
+                event,
+                f"transfer watermark for {shard!r} regressed "
+                f"{last_watermark} -> {watermark}",
+            )
+        if watermark > target:
+            self._violate(
+                event,
+                f"transfer watermark for {shard!r} overflows its target "
+                f"({watermark} > {target})",
+            )
+        self._transfer_progress[shard] = (watermark, target)
+
+    def _on_handoff(self, event: TraceEvent) -> None:
+        shard = event.data["shard"]
+        watermark = int(event.data.get("watermark", 0))
+        target = int(event.data.get("target", 0))
+        ring = [s for s in event.data.get("ring", "").split(",") if s]
+        status = self._state(shard)
+        if status != self._RECOVERING:
+            self._violate(
+                event, f"handoff for shard {shard!r} while it is {status}"
+            )
+        if watermark != target:
+            self._violate(
+                event,
+                f"handoff for shard {shard!r} below its watermark "
+                f"({watermark}/{target} keys transferred)",
+            )
+        if ring and shard not in ring:
+            self._violate(
+                event,
+                f"handoff ring for {shard!r} does not contain the shard",
+            )
+        self._status[shard] = self._HEALTHY
+        self._failed_over.discard(shard)
+        self._transfer_progress.pop(shard, None)
+
+    def _on_transfer_abort(self, event: TraceEvent) -> None:
+        shard = event.data["shard"]
+        # An abort is legal only after the membership re-declared the
+        # shard DEAD (the only abort trigger); the ring was never
+        # touched, so the donors keep ownership.
+        status = self._state(shard)
+        if status != self._DEAD:
+            self._violate(
+                event,
+                f"transfer abort for shard {shard!r} while it is "
+                f"{status} (aborts follow a re-declared death)",
+            )
+        self._transfer_progress.pop(shard, None)
 
     # ------------------------------------------------------------------
     # Post-run checks

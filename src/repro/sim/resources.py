@@ -110,6 +110,15 @@ class Store:
             self._getters.append(event)
         return event
 
+    def clear(self) -> None:
+        """Drop all queued items without waking any blocked getter.
+
+        Models a consumer rebooting with a volatile queue: whatever was
+        deposited but not yet retrieved is lost; getters keep waiting for
+        the next post-reboot ``put``.
+        """
+        self._items.clear()
+
 
 class ServiceStation:
     """A ``k``-server FIFO queueing station with deterministic service.

@@ -1,0 +1,59 @@
+"""Cluster-suite pytest wiring: always-on invariant gating + fault plans.
+
+Two fixtures turn every cluster test into an invariant certificate:
+
+- ``cluster_invariants`` — factory returning
+  ``attach(tracer, **kwargs) -> ClusterInvariantChecker``.  Unlike the
+  root ``rfp_invariants`` fixture (opt-in via ``--rfp-invariants``,
+  because RFP protocol events are per-fetch and costly), cluster events
+  are rare — routes, status transitions, transfers — so the cluster
+  checker runs *unconditionally*: every attached checker is asserted
+  clean at teardown, making the tier-1 run gate on the cluster
+  invariants by default.
+- ``fault_plan`` — factory returning an armed
+  :class:`repro.cluster.FaultPlan`, the deterministic crash/rejoin
+  schedule shared by the unit tests, the property tests, and the
+  ``ext-cluster-rejoin`` benchmark.  Tests that expect a *dirty* trace
+  (planted-bug tests) build their own checker instead of using the
+  fixtures.
+"""
+
+import pytest
+
+from repro.cluster import Fault, FaultPlan
+from repro.lint.invariants import ClusterInvariantChecker
+
+
+@pytest.fixture
+def cluster_invariants():
+    """Factory fixture: ``attach(tracer, **kwargs) -> checker``.
+
+    Always enabled; every checker attached through the factory is
+    asserted clean when the test finishes.
+    """
+    checkers = []
+
+    def attach(tracer, **kwargs):
+        checker = ClusterInvariantChecker(**kwargs).attach(tracer)
+        checkers.append(checker)
+        return checker
+
+    yield attach
+    for checker in checkers:
+        checker.assert_clean()
+
+
+@pytest.fixture
+def fault_plan():
+    """Factory fixture: build and arm a deterministic fault schedule.
+
+    ``make(sim, service, faults, recovery_config=None) -> FaultPlan``
+    where ``faults`` is a list of ``(at_us, action, shard)`` tuples.
+    """
+
+    def make(sim, service, faults, recovery_config=None):
+        plan = FaultPlan([Fault(at, action, shard) for at, action, shard in faults])
+        plan.arm(sim, service, recovery_config=recovery_config)
+        return plan
+
+    return make

@@ -51,6 +51,52 @@ class TestCleanSequence:
         emit(tracer, "route_timeout", shard="s1")
         assert checker.events_checked == 0
 
+    def test_full_rejoin_sequence_passes(self):
+        tracer, checker = make_rig()
+        emit(tracer, "suspect", shard="s1")
+        emit(tracer, "dead", shard="s1")
+        emit(tracer, "failover", shard="s1", successors="s0,s2")
+        emit(tracer, "rebalance", removed="s1", survivors="s0,s2")
+        emit(tracer, "rejoin", shard="s1", reason="repaired")
+        emit(tracer, "transfer", shard="s1", donor="s0", watermark=8, target=16)
+        emit(tracer, "transfer", shard="s1", donor="s2", watermark=16, target=16)
+        emit(tracer, "handoff", shard="s1", ring="s0,s1,s2", watermark=16, target=16)
+        emit(tracer, "route", shard="s1", op="get", client="c0")
+        checker.assert_clean()
+
+    def test_target_may_grow_between_batches(self):
+        """Catch-up writes extend the plan mid-transfer; a growing
+        target is legal as long as the watermark tracks it."""
+        tracer, checker = make_rig()
+        emit(tracer, "dead", shard="s1")
+        emit(tracer, "rejoin", shard="s1")
+        emit(tracer, "transfer", shard="s1", donor="s0", watermark=8, target=16)
+        emit(tracer, "transfer", shard="s1", donor="s0", watermark=18, target=18)
+        emit(tracer, "handoff", shard="s1", ring="s0,s1", watermark=18, target=18)
+        checker.assert_clean()
+
+    def test_refailover_after_rejoin_cycle_passes(self):
+        """A rejoined shard may crash and fail over again: the handoff
+        resets the once-per-incarnation failover bookkeeping."""
+        tracer, checker = make_rig()
+        emit(tracer, "dead", shard="s1")
+        emit(tracer, "failover", shard="s1", successors="s0,s2")
+        emit(tracer, "rejoin", shard="s1")
+        emit(tracer, "handoff", shard="s1", ring="s0,s1,s2", watermark=0, target=0)
+        emit(tracer, "route", shard="s1", op="get", client="c0")
+        emit(tracer, "dead", shard="s1", reason="second crash")
+        emit(tracer, "failover", shard="s1", successors="s0,s2")
+        checker.assert_clean()
+
+    def test_abort_after_redeclared_death_passes(self):
+        tracer, checker = make_rig()
+        emit(tracer, "dead", shard="s1")
+        emit(tracer, "rejoin", shard="s1")
+        emit(tracer, "transfer", shard="s1", donor="s0", watermark=4, target=16)
+        emit(tracer, "dead", shard="s1", reason="re-halted mid-transfer")
+        emit(tracer, "transfer_abort", shard="s1", watermark=4, target=16)
+        checker.assert_clean()
+
 
 class TestPlantedViolations:
     def test_route_to_suspect_shard_trips(self):
@@ -111,6 +157,119 @@ class TestPlantedViolations:
         emit(tracer, "failover", shard="s1", successors="s0")
         emit(tracer, "rebalance", removed="s1", survivors="s0,s1")
         assert any("still contains the removed" in v for v in checker.violations)
+
+    def test_rejoin_from_healthy_trips(self):
+        tracer, checker = make_rig()
+        emit(tracer, "rejoin", shard="s0")
+        assert any(
+            "must not shortcut the failure detector" in v
+            for v in checker.violations
+        )
+
+    def test_rejoin_from_suspect_trips(self):
+        tracer, checker = make_rig()
+        emit(tracer, "suspect", shard="s0")
+        emit(tracer, "rejoin", shard="s0")
+        assert any("rejoined from SUSPECT" in v for v in checker.violations)
+
+    def test_transfer_while_not_recovering_trips(self):
+        tracer, checker = make_rig()
+        emit(tracer, "transfer", shard="s1", donor="s0", watermark=4, target=8)
+        assert any(
+            "transfer batch for shard 's1' while it is HEALTHY" in v
+            for v in checker.violations
+        )
+
+    def test_transfer_from_dead_donor_trips(self):
+        tracer, checker = make_rig()
+        emit(tracer, "dead", shard="s1")
+        emit(tracer, "rejoin", shard="s1")
+        emit(tracer, "dead", shard="s2")
+        emit(tracer, "transfer", shard="s1", donor="s2", watermark=4, target=8)
+        assert any("only healthy shards donate" in v for v in checker.violations)
+
+    def test_self_donation_trips(self):
+        tracer, checker = make_rig()
+        emit(tracer, "dead", shard="s1")
+        emit(tracer, "rejoin", shard="s1")
+        emit(tracer, "transfer", shard="s1", donor="s1", watermark=4, target=8)
+        assert any("donate ranges to itself" in v for v in checker.violations)
+
+    def test_watermark_regression_trips(self):
+        tracer, checker = make_rig()
+        emit(tracer, "dead", shard="s1")
+        emit(tracer, "rejoin", shard="s1")
+        emit(tracer, "transfer", shard="s1", donor="s0", watermark=8, target=16)
+        emit(tracer, "transfer", shard="s1", donor="s0", watermark=6, target=16)
+        assert any("regressed 8 -> 6" in v for v in checker.violations)
+
+    def test_watermark_overflow_trips(self):
+        tracer, checker = make_rig()
+        emit(tracer, "dead", shard="s1")
+        emit(tracer, "rejoin", shard="s1")
+        emit(tracer, "transfer", shard="s1", donor="s0", watermark=20, target=16)
+        assert any("overflows its target" in v for v in checker.violations)
+
+    def test_shrinking_target_trips(self):
+        tracer, checker = make_rig()
+        emit(tracer, "dead", shard="s1")
+        emit(tracer, "rejoin", shard="s1")
+        emit(tracer, "transfer", shard="s1", donor="s0", watermark=4, target=16)
+        emit(tracer, "transfer", shard="s1", donor="s0", watermark=8, target=12)
+        assert any("shrank 16 -> 12" in v for v in checker.violations)
+
+    def test_handoff_below_watermark_trips(self):
+        tracer, checker = make_rig()
+        emit(tracer, "dead", shard="s1")
+        emit(tracer, "rejoin", shard="s1")
+        emit(tracer, "transfer", shard="s1", donor="s0", watermark=8, target=16)
+        emit(tracer, "handoff", shard="s1", ring="s0,s1", watermark=8, target=16)
+        assert any(
+            "handoff for shard 's1' below its watermark (8/16" in v
+            for v in checker.violations
+        )
+
+    def test_handoff_after_abort_trips(self):
+        """Once the membership re-declared the shard dead, a late
+        handoff is illegal — the donors kept ownership."""
+        tracer, checker = make_rig()
+        emit(tracer, "dead", shard="s1")
+        emit(tracer, "rejoin", shard="s1")
+        emit(tracer, "dead", shard="s1", reason="re-halted")
+        emit(tracer, "transfer_abort", shard="s1", watermark=4, target=16)
+        emit(tracer, "handoff", shard="s1", ring="s0,s1", watermark=4, target=4)
+        assert any(
+            "handoff for shard 's1' while it is DEAD" in v
+            for v in checker.violations
+        )
+
+    def test_handoff_ring_missing_shard_trips(self):
+        tracer, checker = make_rig()
+        emit(tracer, "dead", shard="s1")
+        emit(tracer, "rejoin", shard="s1")
+        emit(tracer, "handoff", shard="s1", ring="s0,s2", watermark=0, target=0)
+        assert any("does not contain the shard" in v for v in checker.violations)
+
+    def test_route_to_recovering_shard_trips_with_watermark(self):
+        """The planted-bug shape: a read served below the watermark."""
+        tracer, checker = make_rig()
+        emit(tracer, "dead", shard="s1")
+        emit(tracer, "rejoin", shard="s1")
+        emit(tracer, "transfer", shard="s1", donor="s0", watermark=8, target=16)
+        emit(tracer, "route", shard="s1", op="get", client="c0")
+        assert any(
+            "RECOVERING shard 's1' below its watermark (8/16" in v
+            for v in checker.violations
+        )
+
+    def test_abort_without_redeclared_death_trips(self):
+        tracer, checker = make_rig()
+        emit(tracer, "dead", shard="s1")
+        emit(tracer, "rejoin", shard="s1")
+        emit(tracer, "transfer_abort", shard="s1", watermark=4, target=16)
+        assert any(
+            "aborts follow a re-declared death" in v for v in checker.violations
+        )
 
     def test_halt_on_violation_raises_immediately(self):
         tracer, _ = make_rig(halt_on_violation=True)

@@ -107,3 +107,95 @@ class TestDetection:
             membership.register(name)
         membership.mark_dead("s1")
         assert membership.healthy_nodes() == ["s0", "s2"]
+
+
+class TestRejoin:
+    """DEAD -> RECOVERING -> HEALTHY without weakening lease semantics."""
+
+    def test_rejoin_only_from_dead(self):
+        _, _, membership = make_membership()
+        membership.register("s0")
+        with pytest.raises(ClusterError, match="only DEAD shards rejoin"):
+            membership.rejoin("s0")
+        membership.report_suspect("s0")
+        with pytest.raises(ClusterError, match="only DEAD shards rejoin"):
+            membership.rejoin("s0")
+        membership.mark_dead("s0")
+        membership.rejoin("s0", reason="repaired")
+        assert membership.status("s0") is ShardStatus.RECOVERING
+
+    def test_recovering_is_not_routable(self):
+        _, _, membership = make_membership()
+        membership.register("s0")
+        membership.mark_dead("s0")
+        membership.rejoin("s0")
+        assert not membership.is_routable("s0")
+        assert membership.healthy_nodes() == []
+
+    def test_promote_only_from_recovering(self):
+        _, _, membership = make_membership()
+        membership.register("s0")
+        with pytest.raises(ClusterError, match="only RECOVERING shards promote"):
+            membership.promote("s0")
+        membership.mark_dead("s0")
+        with pytest.raises(ClusterError, match="only RECOVERING shards promote"):
+            membership.promote("s0")
+        membership.rejoin("s0")
+        membership.promote("s0")
+        assert membership.status("s0") is ShardStatus.HEALTHY
+        assert membership.is_routable("s0")
+
+    def test_promotion_is_silent_but_notifies_listeners(self):
+        """The coordinator traces the paired ``handoff`` instead; the
+        membership itself records no ``recovered`` event on promotion."""
+        _, tracer, membership = make_membership()
+        membership.register("s0")
+        membership.mark_dead("s0")
+        membership.rejoin("s0")
+        seen = []
+        membership.subscribe(lambda node, status: seen.append((node, status)))
+        membership.promote("s0")
+        assert seen == [("s0", ShardStatus.HEALTHY)]
+        assert tracer.events(label="recovered") == []
+
+    def test_beat_refreshes_recovering_lease_without_transition(self):
+        sim, tracer, membership = make_membership(
+            heartbeat_interval_us=20.0, lease_timeout_us=60.0
+        )
+        membership.register("s0")
+        membership.mark_dead("s0")
+        membership.rejoin("s0")
+        drive(sim, membership, "s0", 20.0, stop_at_us=1000.0, until_us=500.0)
+        # Beats kept the lease alive but never changed the status.
+        assert membership.status("s0") is ShardStatus.RECOVERING
+        assert len(tracer.events(label="rejoin")) == 1
+        assert tracer.events(label="recovered") == []
+
+    def test_recovering_lease_expiry_redeclares_dead(self):
+        """A shard that goes silent mid-recovery falls back to DEAD —
+        the rejoin path does not weaken the failure detector."""
+        sim, tracer, membership = make_membership(
+            heartbeat_interval_us=20.0, lease_timeout_us=60.0
+        )
+        membership.register("s0")
+        membership.mark_dead("s0")
+        membership.rejoin("s0")
+        membership.start()
+        sim.run(until=500.0)  # no beats at all after the rejoin
+        assert membership.status("s0") is ShardStatus.DEAD
+        redeclared = tracer.events(label="dead", since_us=1.0)
+        assert len(redeclared) == 1
+        assert "lease expired" in redeclared[0].data["reason"]
+
+    def test_dead_still_sticky_after_rejoin_cycle(self):
+        """Regression: adding the rejoin exit from DEAD must not let
+        beats or suspect reports resurrect a dead shard."""
+        _, _, membership = make_membership()
+        membership.register("s0")
+        membership.mark_dead("s0")
+        membership.rejoin("s0")
+        membership.promote("s0")
+        membership.mark_dead("s0", reason="second crash")
+        membership.beat("s0")
+        membership.report_suspect("s0")
+        assert membership.status("s0") is ShardStatus.DEAD

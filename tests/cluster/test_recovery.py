@@ -1,0 +1,276 @@
+"""Shard recovery & rejoin: crash, stream ranges back, re-enter the ring.
+
+Deterministic crash/rejoin cycles driven by :class:`repro.cluster.FaultPlan`
+— the same harness the property tests and the ``ext-cluster-rejoin``
+benchmark use — with the cluster invariant checker attached to every run
+(via the always-on ``cluster_invariants`` fixture) and the RFP protocol
+checkers opt-in via ``--rfp-invariants``.
+"""
+
+import pytest
+
+from repro.cluster import (
+    ClusterConfig,
+    Fault,
+    FaultPlan,
+    Membership,
+    RecoveryConfig,
+    RfpCluster,
+    ShardStatus,
+)
+from repro.core.config import RfpConfig
+from repro.errors import ClusterError
+from repro.hw import CLUSTER_EUROSYS17, build_cluster
+from repro.kv.store import StoreCostModel
+from repro.sim import Simulator, Tracer
+
+KEYS = [f"key{i:04d}".encode() for i in range(40)]
+
+
+def make_service(attach_checker=None, shards=3):
+    sim = Simulator()
+    cluster = build_cluster(sim, CLUSTER_EUROSYS17)
+    tracer = Tracer(sim, categories=["cluster"])
+    if attach_checker is not None:
+        attach_checker(tracer)
+    service = RfpCluster(
+        sim,
+        cluster,
+        shards=shards,
+        rfp_config=RfpConfig(consecutive_slow_calls=1),
+        cost_model=StoreCostModel(jitter_probability=0.0),
+        cluster_config=ClusterConfig(replication_factor=2),
+        tracer=tracer,
+    )
+    service.preload([(key, b"v" * 32) for key in KEYS])
+    return sim, cluster, tracer, service
+
+
+def writer_clients(sim, cluster, service, clients=4):
+    """Closed-loop GET/PUT clients; returns the acked-write ledger."""
+    acked = {}
+
+    def body(client, my_keys):
+        sequence = 0
+        while True:
+            key = my_keys[sequence % len(my_keys)]
+            if sequence % 3 == 2:
+                sequence += 1
+                value = b"w%04d" % sequence
+                yield from client.put(key, value)
+                acked[key] = value
+            else:
+                sequence += 1
+                yield from client.get(key)
+
+    for index in range(clients):
+        client = service.connect(cluster.machines[3 + index], name=f"c{index}")
+        sim.process(body(client, KEYS[index::4]))
+    return acked
+
+
+def cluster_labels(tracer):
+    return [event.label for event in tracer.events()]
+
+
+class TestFullCycle:
+    """kill -> repair -> transfer -> handoff restores the exact ring."""
+
+    def run_cycle(self, attach_checker, until=1500.0):
+        sim, cluster, tracer, service = make_service(attach_checker)
+        pre_ring = list(service.ring.nodes)
+        pre_placement = {key: service.replicas_for(key) for key in KEYS}
+        acked = writer_clients(sim, cluster, service)
+        plan = FaultPlan.kill_then_repair("shard1", 400.0, 800.0)
+        plan.arm(sim, service, recovery_config=RecoveryConfig(batch_keys=8))
+        sim.run(until=until)
+        return sim, service, tracer, plan, pre_ring, pre_placement, acked
+
+    def test_ring_restored_exactly(self, cluster_invariants):
+        _, service, _, plan, pre_ring, pre_placement, _ = self.run_cycle(
+            cluster_invariants
+        )
+        recovery = plan.recoveries[0]
+        assert not recovery.active and not recovery.aborted
+        assert service.ring.nodes == pre_ring
+        assert {key: service.replicas_for(key) for key in KEYS} == pre_placement
+        assert service.membership.status("shard1") is ShardStatus.HEALTHY
+        assert [event.shard for event in service.failover.reinstatements] == [
+            "shard1"
+        ]
+
+    def test_watermark_reaches_target(self, cluster_invariants):
+        _, service, _, plan, _, _, _ = self.run_cycle(cluster_invariants)
+        recovery = plan.recoveries[0]
+        assert recovery.target > 0
+        assert recovery.watermark == recovery.target
+        assert recovery.event.batches > 1  # actually streamed, not one blob
+        metrics = service.metrics.shard("shard1")
+        assert metrics.transfer_batches.value == recovery.event.batches
+        assert metrics.transferred_keys.value == recovery.event.transferred_keys
+        assert metrics.transferred_bytes.value == recovery.event.transferred_bytes
+        assert metrics.recoveries.value == 1
+
+    def test_acked_writes_readable_from_every_replica(self, cluster_invariants):
+        _, service, _, _, _, _, acked = self.run_cycle(cluster_invariants)
+        assert acked  # writers made progress
+        for key, value in acked.items():
+            for shard in service.replicas_for(key):
+                stored = service.peek(shard, key)
+                # The stored value may be *newer* than the last ack (a
+                # write in flight at the window cut) but never older.
+                assert stored is not None
+                assert stored >= value, (key, shard, stored, value)
+
+    def test_trace_has_rejoin_transfer_handoff_sequence(self, cluster_invariants):
+        _, _, tracer, _, _, _, _ = self.run_cycle(cluster_invariants)
+        labels = cluster_labels(tracer)
+        assert "rejoin" in labels and "transfer" in labels and "handoff" in labels
+        assert labels.index("dead") < labels.index("rejoin")
+        assert labels.index("rejoin") < labels.index("transfer")
+        assert labels.index("transfer") < labels.index("handoff")
+        assert "transfer_abort" not in labels
+
+    def test_rejoiner_pulls_donors_stay_inbound_only(
+        self, cluster_invariants, rfp_invariants
+    ):
+        sim = Simulator()
+        cluster = build_cluster(sim, CLUSTER_EUROSYS17)
+        cluster_tracer = Tracer(sim, categories=["cluster"])
+        cluster_invariants(cluster_tracer)
+        shard_tracers = {f"shard{i}": Tracer(sim, capacity=1) for i in range(3)}
+        for tracer in shard_tracers.values():
+            rfp_invariants(tracer, config=RfpConfig(consecutive_slow_calls=1))
+        service = RfpCluster(
+            sim,
+            cluster,
+            shards=3,
+            rfp_config=RfpConfig(consecutive_slow_calls=1),
+            cost_model=StoreCostModel(jitter_probability=0.0),
+            cluster_config=ClusterConfig(replication_factor=2),
+            tracer=cluster_tracer,
+            shard_tracers=shard_tracers,
+        )
+        service.preload([(key, b"v" * 32) for key in KEYS])
+        writer_clients(sim, cluster, service)
+        plan = FaultPlan.kill_then_repair("shard1", 400.0, 800.0)
+        plan.arm(sim, service)
+        sim.run(until=1500.0)
+        recovery = plan.recoveries[0]
+        assert not recovery.active and not recovery.aborted
+        # The rejoiner's only out-bound verbs are its ranged reads.
+        rejoiner_nic = service.shards["shard1"].machine.rnic
+        assert rejoiner_nic.outbound_ops == recovery.event.batches
+        # Donors served the stream in-bound: zero out-bound verbs ever.
+        for donor in ("shard0", "shard2"):
+            assert service.shards[donor].machine.rnic.outbound_ops == 0
+
+
+class TestRehaltMidTransfer:
+    """A second crash mid-transfer aborts: donors keep ownership."""
+
+    def run_rehalt(self, attach_checker, until=2000.0):
+        sim, cluster, tracer, service = make_service(attach_checker)
+        writer_clients(sim, cluster, service)
+        # pace_us=150 stretches the transfer so the second kill at 900
+        # lands mid-stream (lease expiry re-declares DEAD by ~1000).
+        plan = FaultPlan(
+            [
+                Fault(400.0, "kill", "shard1"),
+                Fault(800.0, "repair", "shard1"),
+                Fault(900.0, "kill", "shard1"),
+            ]
+        )
+        plan.arm(sim, service, recovery_config=RecoveryConfig(pace_us=150.0))
+        sim.run(until=until)
+        return sim, service, tracer, plan
+
+    def test_abort_leaves_donors_owning(self, cluster_invariants):
+        _, service, tracer, plan = self.run_rehalt(cluster_invariants)
+        recovery = plan.recoveries[0]
+        assert recovery.aborted and not recovery.active
+        assert service.membership.status("shard1") is ShardStatus.DEAD
+        # The ring was never touched: no reinstatement, no handoff, and
+        # the survivors still own every range.
+        assert service.ring.nodes == ["shard0", "shard2"]
+        assert service.failover.reinstatements == []
+        labels = cluster_labels(tracer)
+        assert "handoff" not in labels
+        assert "transfer_abort" in labels
+        assert service.metrics.shard("shard1").recoveries.value == 0
+
+    def test_no_duplicate_handoff_on_second_repair(self, cluster_invariants):
+        """After an abort, a fresh repair runs a whole new recovery and
+        performs exactly one handoff."""
+        sim, service, tracer, plan = self.run_rehalt(cluster_invariants)
+        second = service.repair("shard1")
+        sim.run(until=3500.0)
+        assert not second.active and not second.aborted
+        assert service.ring.nodes == ["shard0", "shard1", "shard2"]
+        assert service.membership.status("shard1") is ShardStatus.HEALTHY
+        assert [event.shard for event in service.failover.reinstatements] == [
+            "shard1"
+        ]
+        assert cluster_labels(tracer).count("handoff") == 1
+        assert service.metrics.shard("shard1").recoveries.value == 1
+
+
+class TestRepairValidation:
+    def test_repair_of_live_shard_rejected(self):
+        _, _, _, service = make_service()
+        with pytest.raises(ClusterError, match="not dead"):
+            service.repair("shard1")
+
+    def test_repair_races_the_detector(self):
+        """A halted shard whose lease has not expired yet is not DEAD;
+        repairing it would shortcut the failure detector."""
+        sim, _, _, service = make_service()
+        sim.run(until=100.0)
+        service.kill("shard1")
+        with pytest.raises(ClusterError, match="races the failure detector"):
+            service.repair("shard1")
+
+    def test_double_repair_rejected(self, cluster_invariants):
+        sim, _, _, service = make_service(cluster_invariants)
+        sim.schedule(400.0, service.kill, "shard1")
+        sim.run(until=800.0)
+        service.repair("shard1", recovery_config=RecoveryConfig(pace_us=500.0))
+        with pytest.raises(ClusterError, match="not dead"):
+            service.repair("shard1")
+
+    def test_rejoin_requires_dead(self):
+        sim = Simulator()
+        membership = Membership(sim)
+        membership.register("s0")
+        with pytest.raises(ClusterError, match="only DEAD shards rejoin"):
+            membership.rejoin("s0")
+
+
+class TestPlantedBug:
+    def test_checker_catches_route_below_watermark(self, monkeypatch):
+        """Plant the bug the rejoin invariants exist to catch: a router
+        that treats RECOVERING as routable (plus an eagerly re-entered
+        ring) serves reads from a shard below its watermark.  The
+        checker — attached to the *same* live trace the clean tests
+        use — must flag it."""
+        from repro.lint.invariants import ClusterInvariantChecker
+
+        sim, cluster, tracer, service = make_service()
+        checker = ClusterInvariantChecker().attach(tracer)
+        writer_clients(sim, cluster, service)
+        plan = FaultPlan.kill_then_repair("shard1", 400.0, 800.0)
+        # A glacial transfer keeps shard1 RECOVERING for the whole run.
+        plan.arm(sim, service, recovery_config=RecoveryConfig(pace_us=800.0))
+        monkeypatch.setattr(
+            Membership,
+            "is_routable",
+            lambda self, node: self.status(node)
+            in (ShardStatus.HEALTHY, ShardStatus.RECOVERING),
+        )
+        # The buggy "eager rebalance": re-enter the ring before the
+        # watermark catches up.
+        sim.schedule(850.0, service.failover.reinstate, "shard1")
+        sim.run(until=1200.0)
+        assert plan.recoveries[0].active  # still mid-transfer
+        assert not checker.ok
+        assert any("below its watermark" in v for v in checker.violations)

@@ -37,3 +37,8 @@ def test_cluster_package_is_covered_by_discovery():
     }
     assert expected  # the package exists and has modules
     assert expected <= discovered
+    # The recovery subsystem's modules are where nondeterminism would be
+    # easiest to smuggle in (wall-clock pacing, random batch orders), so
+    # pin them by name rather than trusting the directory listing alone.
+    for name in ("recovery.py", "faults.py"):
+        assert os.path.join(cluster_dir, name) in discovered, name
