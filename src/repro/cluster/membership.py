@@ -102,6 +102,19 @@ class Membership:
         """``listener(node, status)`` fires on every status change."""
         self._listeners.append(listener)
 
+    def unsubscribe(self, listener: StatusListener) -> None:
+        """Detach a listener added by :meth:`subscribe` (no-op if absent).
+
+        Short-lived subscribers — a :class:`RecoveryCoordinator` lives
+        for one transfer — must detach when they finish, or every
+        kill/repair cycle leaves one more dead listener running on every
+        later status change.
+        """
+        try:
+            self._listeners.remove(listener)
+        except ValueError:
+            pass
+
     def start(self) -> Process:
         """Spawn the lease-checking detector process."""
         return self.sim.process(self._detector(), name="cluster-membership")
@@ -184,7 +197,7 @@ class Membership:
                 f"{self.status(node).name} (only RECOVERING shards promote)"
             )
         self._status[node] = ShardStatus.HEALTHY
-        for listener in self._listeners:
+        for listener in list(self._listeners):
             listener(node, ShardStatus.HEALTHY)
 
     # ------------------------------------------------------------------
@@ -201,7 +214,7 @@ class Membership:
                 ShardStatus.RECOVERING: "rejoin",
             }[status]
             self.tracer.record("cluster", label, shard=node, reason=reason)
-        for listener in self._listeners:
+        for listener in list(self._listeners):
             listener(node, status)
 
     def _detector(self) -> Generator:

@@ -38,6 +38,19 @@ mechanisms, each audited by ``repro.lint.ClusterInvariantChecker``:
 If the shard is re-halted mid-transfer the membership re-declares it
 DEAD, the coordinator aborts, and the donors keep ownership — the ring
 was never touched, so there is nothing to undo and no duplicate handoff.
+A kill landing *after* the last batch but before the lease expires is
+caught too: the handoff refuses a halted shard and waits for the
+detector to re-declare it DEAD instead of promoting it.
+
+The plan itself is not immutable: if the ring changes under a live
+transfer — another shard dies and fails over, or a concurrent recovery
+hands off — the planned key set and the ``note_write`` placement filter
+were computed against a ring that no longer exists.  The coordinator
+then *re-plans* (traced as ``transfer_replan``): the restored ring,
+donor plan and watermark target are recomputed against the current
+ring, keys already copied that are still owned stay copied, and the
+handoff cannot happen against a drifted ring — so the shard never
+becomes routable while missing keys the actual ring places on it.
 """
 
 from __future__ import annotations
@@ -130,6 +143,7 @@ class RecoveryCoordinator:
         #: forwarding — an older in-flight snapshot must not clobber them.
         self._fresh: Set[bytes] = set()
         self._aborted = False
+        self._replan_needed = False
         self._finished = False
         self.event = RecoveryEvent(
             shard=shard,
@@ -138,7 +152,8 @@ class RecoveryCoordinator:
             target_keys=0,
         )
         #: The ring as it will be once the shard re-enters — placement is
-        #: a pure function of membership, so this *is* the pre-crash ring.
+        #: a pure function of membership, so this *is* the pre-crash ring
+        #: (recomputed by :meth:`_replan` if the ring changes mid-stream).
         self.restored_ring = service.ring.with_node(shard)
         service.membership.subscribe(self._on_status_change)
 
@@ -168,10 +183,28 @@ class RecoveryCoordinator:
     # ------------------------------------------------------------------
 
     def _on_status_change(self, node: str, status: ShardStatus) -> None:
-        """Re-halt mid-transfer: the detector re-declares the shard DEAD;
-        abort without touching the ring — donors keep ownership."""
-        if node == self.shard and status is ShardStatus.DEAD and self.active:
-            self._aborted = True
+        """Membership transitions while the transfer runs.
+
+        - The rejoiner itself re-declared DEAD (re-halt): abort without
+          touching the ring — donors keep ownership.
+        - Any other transition that changed the ring (a failover removed
+          a shard; a concurrent recovery's handoff added one): the plan
+          and the ``note_write`` placement filter were computed against
+          a ring that no longer exists, so the stream re-plans before it
+          can hand off a shard that is missing keys the actual ring
+          places on it.  The comparison is safe here because the
+          failover coordinator subscribed first: by the time this
+          listener fires, the ring surgery already happened.
+        """
+        if not self.active:
+            return
+        if node == self.shard:
+            if status is ShardStatus.DEAD:
+                self._aborted = True
+            return
+        expected = set(self.restored_ring.nodes) - {self.shard}
+        if set(self.service.ring.nodes) != expected:
+            self._replan_needed = True
 
     def note_write(self, key: bytes, value: bytes) -> None:
         """The router acknowledged a PUT while this recovery runs.
@@ -225,24 +258,82 @@ class RecoveryCoordinator:
                     plan.setdefault(donor, []).append(key)
         return plan
 
+    @property
+    def _halted(self) -> bool:
+        """The shard was killed again but the detector has not re-declared
+        it DEAD yet (the abort flag only flips on that transition)."""
+        return not self.service.shards[self.shard].alive
+
     def _run(self) -> Generator:
         plan = self._plan()
         self.event.target_keys = sum(len(keys) for keys in plan.values())
         for keys in plan.values():
             self._pending.update(keys)
         batch = self.config.batch_keys
-        for donor in sorted(plan):
-            keys = plan[donor]
-            for start in range(0, len(keys), batch):
-                if self._aborted:
-                    self._finish_aborted()
-                    return
-                yield from self._pull_batch(donor, keys[start : start + batch])
-                yield self.sim.timeout(self.config.pace_us)
-        if self._aborted:
-            self._finish_aborted()
+        while True:
+            for donor in sorted(plan):
+                keys = plan[donor]
+                for start in range(0, len(keys), batch):
+                    if self._aborted or self._halted or self._replan_needed:
+                        break
+                    yield from self._pull_batch(donor, keys[start : start + batch])
+                    yield self.sim.timeout(self.config.pace_us)
+                if self._aborted or self._halted or self._replan_needed:
+                    break
+            if self._aborted:
+                self._finish_aborted()
+                return
+            if self._halted:
+                # Killed in the window between the last batch and the
+                # lease expiry: promoting a halted shard would make
+                # every route to it time out until the detector caught
+                # up.  Wait for the DEAD re-declaration — the sanctioned
+                # abort trigger — instead of handing off.
+                while not self._aborted:
+                    yield self.sim.timeout(self.service.config.heartbeat_interval_us)
+                self._finish_aborted()
+                return
+            if self._replan_needed:
+                plan = self._replan()
+                continue
+            self._handoff()
             return
-        self._handoff()
+
+    def _replan(self) -> Dict[str, List[bytes]]:
+        """The ring changed under the transfer: rebuild plan and targets.
+
+        The restored ring and the donor plan are recomputed against the
+        current ring.  Keys already copied that the new restored ring
+        still places on the rejoiner stay copied — their forwarding
+        filter held the whole time they were owned — while keys it no
+        longer places there are dropped, and newly owned keys join the
+        pending set to be pulled from their current primaries.  The
+        watermark target is re-based; the ``transfer_replan`` trace
+        re-bases the invariant checker's monotonicity baseline the same
+        way.
+        """
+        self._replan_needed = False
+        self.restored_ring = self.service.ring.with_node(self.shard)
+        self.event.donors = self.service.ring.nodes
+        plan = self._plan()
+        owned: Set[bytes] = set()
+        for keys in plan.values():
+            owned.update(keys)
+        self._copied &= owned
+        self._fresh &= owned
+        self._pending = owned - self._copied
+        self.event.target_keys = len(owned)
+        if self.tracer is not None:
+            self.tracer.record(
+                "cluster",
+                "transfer_replan",
+                shard=self.shard,
+                donors=",".join(self.event.donors),
+                ring=",".join(self.restored_ring.nodes),
+                watermark=self.watermark,
+                target=self.target,
+            )
+        return plan
 
     def _pull_batch(self, donor: str, keys: List[bytes]) -> Generator:
         """One ranged read: snapshot ``keys`` on the donor, ship, install.
@@ -276,6 +367,16 @@ class RecoveryCoordinator:
         yield self.sim.timeout(self.config.rtt_us)
         if self._aborted:
             return  # re-halted while the batch was on the wire: drop it
+        if self._replan_needed:
+            # The ring changed while the batch was on the wire (the
+            # donor may even be the shard that just died).  Drop the
+            # batch un-traced and un-claim its keys: the re-plan decides
+            # afresh who owns them and who donates.
+            for key in keys:
+                if key not in self._fresh:
+                    self._copied.discard(key)
+                    self._pending.add(key)
+            return
         my_store = rejoiner.jakiro.store
         for key, value in snapshot:
             if key in self._fresh:
@@ -310,6 +411,15 @@ class RecoveryCoordinator:
         stale values.
         """
         service = self.service
+        if not service.shards[self.shard].alive:  # pragma: no cover - _run gates
+            raise ClusterError(f"handoff for halted shard {self.shard!r}")
+        expected = set(self.restored_ring.nodes) - {self.shard}
+        if set(service.ring.nodes) != expected:  # pragma: no cover - _run gates
+            raise ClusterError(
+                f"handoff for {self.shard!r} against a drifted ring "
+                f"(planned {sorted(expected)}, found {service.ring.nodes})"
+            )
+        service.membership.unsubscribe(self._on_status_change)
         ring = service.failover.reinstate(self.shard)
         service.membership.promote(self.shard)
         self._finished = True
@@ -328,6 +438,7 @@ class RecoveryCoordinator:
             )
 
     def _finish_aborted(self) -> None:
+        self.service.membership.unsubscribe(self._on_status_change)
         self._finished = True
         self.event.aborted = True
         self.event.finished_at_us = self.sim.now

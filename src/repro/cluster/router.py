@@ -445,29 +445,52 @@ class ClusterClient:
         re-check a PUT issued just before a recovery handoff could
         acknowledge without the rejoined shard ever seeing the value —
         the one window the recovery watermark cannot cover on its own.
+        A re-check round is bookkeeping for a write that already
+        succeeded everywhere it was sent, so it is budgeted separately
+        from the timeout-driven routing retries — otherwise a durable
+        write could be reported to the client as exhausted.
         """
-        for attempt in range(self.service.config.max_op_retries):
+        service = self.service
+        attempts = 0
+        rechecks = 0
+        # Each re-check loop-around needs a distinct ring mutation to
+        # land mid-PUT, so this bound is unreachable on any real
+        # schedule — it guards against a livelock, not a budget.
+        max_rechecks = service.config.max_op_retries * len(service.shards)
+        while True:
             replicas = self._healthy_replicas(key)
+            timed_out = False
             for shard_name in replicas:
                 result = yield from self._attempt(
-                    shard_name, "put", key, value, rerouted=attempt > 0
+                    shard_name, "put", key, value, rerouted=attempts > 0
                 )
                 if result is _TIMED_OUT:
+                    timed_out = True
                     break
-            else:
-                try:
-                    current = set(self._healthy_replicas(key))
-                except ClusterError:
-                    # Everything turned suspect since the last write; the
-                    # data is on every replica that was healthy, so ack.
-                    current = set()
-                if not current <= set(replicas):
-                    continue
-                self.service.note_put(key, value)
-                return None
-        raise ClusterError(
-            f"PUT exhausted {self.service.config.max_op_retries} routing attempts"
-        )
+            if timed_out:
+                attempts += 1
+                if attempts >= service.config.max_op_retries:
+                    raise ClusterError(
+                        f"PUT exhausted {service.config.max_op_retries} "
+                        "routing attempts"
+                    )
+                continue
+            try:
+                current = set(self._healthy_replicas(key))
+            except ClusterError:
+                # Everything turned suspect since the last write; the
+                # data is on every replica that was healthy, so ack.
+                current = set()
+            if not current <= set(replicas):
+                rechecks += 1
+                if rechecks > max_rechecks:
+                    raise ClusterError(
+                        f"PUT replica re-check did not converge after "
+                        f"{max_rechecks} rounds"
+                    )
+                continue
+            service.note_put(key, value)
+            return None
 
     def execute_batch(self, operations: Sequence[BatchOp]) -> Generator:
         """Process body: run a batch, grouping same-shard operations.

@@ -444,9 +444,14 @@ class ClusterInvariantChecker:
        (the repair path never shortcuts the failure detector); a
        re-declared ``dead`` aborts the recovery.
     6. **Transfer watermark** — ``transfer`` batches are legal only
-       while the shard is ``RECOVERING``, come from a healthy donor that
-       is not the shard itself, keep the transfer ``target`` constant,
-       and advance the ``watermark`` monotonically up to ``target``.
+       while the shard is ``RECOVERING``, come from a live donor that is
+       not the shard itself (``HEALTHY`` or transiently ``SUSPECT`` —
+       suspicion is a reversible hint; ``DEAD``/``RECOVERING`` shards
+       cannot donate), never shrink the transfer ``target`` (catch-up
+       writes may grow it), and advance the ``watermark`` monotonically
+       up to ``target``.  A ``transfer_replan`` event — emitted when the
+       ring changes under a live transfer — re-bases both bounds and is
+       itself legal only while ``RECOVERING``.
     7. **Handoff completeness** — ``handoff`` is legal only from
        ``RECOVERING``, only at ``watermark == target`` (the shard caught
        up on every range it owns plus writes accepted meanwhile), and
@@ -479,6 +484,7 @@ class ClusterInvariantChecker:
             "rebalance": self._on_rebalance,
             "rejoin": self._on_rejoin,
             "transfer": self._on_transfer,
+            "transfer_replan": self._on_transfer_replan,
             "handoff": self._on_handoff,
             "transfer_abort": self._on_transfer_abort,
         }
@@ -622,11 +628,14 @@ class ClusterInvariantChecker:
             self._violate(
                 event, f"shard {shard!r} cannot donate ranges to itself"
             )
-        elif self._state(donor) != self._HEALTHY:
+        elif self._state(donor) not in (self._HEALTHY, self._SUSPECT):
+            # SUSPECT is a reversible hint (one op timeout under load
+            # heals on the next beat); a suspected donor still owns its
+            # ranges and donates legally.  DEAD/RECOVERING cannot.
             self._violate(
                 event,
                 f"transfer donor {donor!r} is {self._state(donor)} "
-                "(only healthy shards donate)",
+                "(only live shards donate)",
             )
         last_watermark, last_target = self._transfer_progress.get(shard, (0, 0))
         # The target may *grow* between batches (catch-up writes extend
@@ -649,6 +658,27 @@ class ClusterInvariantChecker:
                 f"transfer watermark for {shard!r} overflows its target "
                 f"({watermark} > {target})",
             )
+        self._transfer_progress[shard] = (watermark, target)
+
+    def _on_transfer_replan(self, event: TraceEvent) -> None:
+        shard = event.data["shard"]
+        watermark = int(event.data.get("watermark", 0))
+        target = int(event.data.get("target", 0))
+        status = self._state(shard)
+        if status != self._RECOVERING:
+            self._violate(
+                event,
+                f"transfer re-plan for shard {shard!r} while it is {status}",
+            )
+        if watermark > target:
+            self._violate(
+                event,
+                f"re-planned watermark for {shard!r} overflows its target "
+                f"({watermark} > {target})",
+            )
+        # The ring changed under the transfer, so the plan was rebuilt
+        # against it; the re-based pair becomes the new monotonicity
+        # baseline (a shrinking target is legal only through this event).
         self._transfer_progress[shard] = (watermark, target)
 
     def _on_handoff(self, event: TraceEvent) -> None:

@@ -97,6 +97,38 @@ class TestCleanSequence:
         emit(tracer, "transfer_abort", shard="s1", watermark=4, target=16)
         checker.assert_clean()
 
+    def test_suspect_donor_is_legal(self):
+        """A single op timeout makes a donor transiently SUSPECT while
+        its transfer stream is still perfectly legal; the checker must
+        not flag it (it heals on the next beat)."""
+        tracer, checker = make_rig()
+        emit(tracer, "dead", shard="s1")
+        emit(tracer, "rejoin", shard="s1")
+        emit(tracer, "suspect", shard="s0", reason="op timed out under load")
+        emit(tracer, "transfer", shard="s1", donor="s0", watermark=8, target=16)
+        emit(tracer, "recovered", shard="s0", reason="heartbeat resumed")
+        emit(tracer, "transfer", shard="s1", donor="s0", watermark=16, target=16)
+        emit(tracer, "handoff", shard="s1", ring="s0,s1", watermark=16, target=16)
+        checker.assert_clean()
+
+    def test_replan_rebases_watermark_and_target(self):
+        """A ring change mid-transfer re-plans the stream: the re-based
+        (watermark, target) pair — even a shrinking target — is the new
+        monotonicity baseline."""
+        tracer, checker = make_rig()
+        emit(tracer, "dead", shard="s1")
+        emit(tracer, "rejoin", shard="s1")
+        emit(tracer, "transfer", shard="s1", donor="s0", watermark=8, target=16)
+        emit(tracer, "dead", shard="s2", reason="second failure mid-transfer")
+        emit(tracer, "failover", shard="s2", successors="s0")
+        emit(tracer, "rebalance", removed="s2", survivors="s0")
+        emit(
+            tracer, "transfer_replan", shard="s1", ring="s0,s1", watermark=5, target=10
+        )
+        emit(tracer, "transfer", shard="s1", donor="s0", watermark=10, target=10)
+        emit(tracer, "handoff", shard="s1", ring="s0,s1", watermark=10, target=10)
+        checker.assert_clean()
+
 
 class TestPlantedViolations:
     def test_route_to_suspect_shard_trips(self):
@@ -186,7 +218,20 @@ class TestPlantedViolations:
         emit(tracer, "rejoin", shard="s1")
         emit(tracer, "dead", shard="s2")
         emit(tracer, "transfer", shard="s1", donor="s2", watermark=4, target=8)
-        assert any("only healthy shards donate" in v for v in checker.violations)
+        assert any("only live shards donate" in v for v in checker.violations)
+
+    def test_transfer_from_recovering_donor_trips(self):
+        """A donor that is itself catching up is below its own watermark
+        and must not donate."""
+        tracer, checker = make_rig()
+        emit(tracer, "dead", shard="s1")
+        emit(tracer, "rejoin", shard="s1")
+        emit(tracer, "dead", shard="s2")
+        emit(tracer, "rejoin", shard="s2")
+        emit(tracer, "transfer", shard="s1", donor="s2", watermark=4, target=8)
+        assert any(
+            "donor 's2' is RECOVERING" in v for v in checker.violations
+        )
 
     def test_self_donation_trips(self):
         tracer, checker = make_rig()
@@ -259,6 +304,24 @@ class TestPlantedViolations:
         emit(tracer, "route", shard="s1", op="get", client="c0")
         assert any(
             "RECOVERING shard 's1' below its watermark (8/16" in v
+            for v in checker.violations
+        )
+
+    def test_replan_while_not_recovering_trips(self):
+        tracer, checker = make_rig()
+        emit(tracer, "transfer_replan", shard="s0", watermark=0, target=8)
+        assert any(
+            "re-plan for shard 's0' while it is HEALTHY" in v
+            for v in checker.violations
+        )
+
+    def test_replan_watermark_overflow_trips(self):
+        tracer, checker = make_rig()
+        emit(tracer, "dead", shard="s1")
+        emit(tracer, "rejoin", shard="s1")
+        emit(tracer, "transfer_replan", shard="s1", watermark=12, target=10)
+        assert any(
+            "re-planned watermark for 's1' overflows" in v
             for v in checker.violations
         )
 

@@ -215,6 +215,223 @@ class TestRehaltMidTransfer:
         assert service.metrics.shard("shard1").recoveries.value == 1
 
 
+class TestTopologyChangeMidTransfer:
+    """The ring changing under a live transfer re-plans it (a stale plan
+    would make the rejoiner routable while missing keys the actual ring
+    places on it)."""
+
+    def run_second_failure(self, attach_checker, until=4000.0):
+        sim, cluster, tracer, service = make_service(attach_checker)
+        writer_clients(sim, cluster, service)
+        plan = FaultPlan(
+            [
+                Fault(400.0, "kill", "shard1"),
+                Fault(800.0, "repair", "shard1"),
+                # shard2 dies mid-transfer: its failover shrinks the ring
+                # shard1's plan and restored ring were computed against.
+                Fault(900.0, "kill", "shard2"),
+            ]
+        )
+        plan.arm(
+            sim,
+            service,
+            recovery_config=RecoveryConfig(pace_us=150.0, batch_keys=4),
+        )
+        sim.run(until=until)
+        return sim, service, tracer, plan
+
+    def test_replan_restores_the_actual_ring(self, cluster_invariants):
+        _, service, tracer, plan = self.run_second_failure(cluster_invariants)
+        recovery = plan.recoveries[0]
+        assert not recovery.active and not recovery.aborted
+        assert "transfer_replan" in cluster_labels(tracer)
+        # The handoff re-entered the ring that actually exists — the
+        # two-survivor one — not the stale three-shard restored ring.
+        assert recovery.restored_ring.nodes == ["shard0", "shard1"]
+        assert service.ring.nodes == ["shard0", "shard1"]
+        assert service.membership.status("shard1") is ShardStatus.HEALTHY
+        assert service.membership.status("shard2") is ShardStatus.DEAD
+
+    def test_rejoiner_holds_every_key_the_ring_places_on_it(
+        self, cluster_invariants
+    ):
+        """The moment the handoff makes the shard routable, it must hold
+        every acked key the actual (two-node, RF=2) ring places on it —
+        i.e. every acked key its donor holds.  Peeking at the handoff
+        instant matters: later write traffic would wash out a stale plan
+        (the shard would be routable-but-behind only transiently)."""
+        sim, cluster, tracer, service = make_service(cluster_invariants)
+        acked = writer_clients(sim, cluster, service)
+        missing_at_handoff = []
+
+        def snapshot(event):
+            if event.category == "cluster" and event.label == "handoff":
+                missing_at_handoff.append(
+                    [
+                        key
+                        for key in acked
+                        if service.peek("shard0", key) is not None
+                        and service.peek("shard1", key) is None
+                    ]
+                )
+
+        tracer.subscribe(snapshot)
+        plan = FaultPlan(
+            [
+                Fault(400.0, "kill", "shard1"),
+                Fault(800.0, "repair", "shard1"),
+                Fault(900.0, "kill", "shard2"),
+            ]
+        )
+        plan.arm(
+            sim,
+            service,
+            recovery_config=RecoveryConfig(pace_us=150.0, batch_keys=4),
+        )
+        sim.run(until=4000.0)
+        assert not plan.recoveries[0].active
+        assert missing_at_handoff == [[]]
+
+    def test_concurrent_recoveries_replan_on_each_others_handoff(
+        self, cluster_invariants
+    ):
+        """Two shards recover at once: the first handoff grows the ring
+        under the second transfer, which must re-plan against it (its
+        restored ring was computed while the first was still out)."""
+        sim, cluster, tracer, service = make_service(cluster_invariants)
+        writer_clients(sim, cluster, service)
+        plan = FaultPlan(
+            [
+                Fault(400.0, "kill", "shard1"),
+                Fault(500.0, "kill", "shard2"),
+                Fault(800.0, "repair", "shard1"),
+                Fault(860.0, "repair", "shard2"),
+            ]
+        )
+        plan.arm(
+            sim,
+            service,
+            recovery_config=RecoveryConfig(pace_us=100.0, batch_keys=8),
+        )
+        sim.run(until=5000.0)
+        assert len(plan.recoveries) == 2
+        for recovery in plan.recoveries:
+            assert not recovery.active and not recovery.aborted
+        assert "transfer_replan" in cluster_labels(tracer)
+        assert service.ring.nodes == ["shard0", "shard1", "shard2"]
+        for shard in service.shards:
+            assert service.membership.status(shard) is ShardStatus.HEALTHY
+
+
+class TestKillInHandoffWindow:
+    """A kill landing after the last batch but before the lease expires
+    must not hand off: the abort flag only flips on the DEAD transition,
+    and promoting a halted shard would make every route to it time out."""
+
+    def test_no_promotion_of_halted_shard(self, cluster_invariants):
+        sim, cluster, tracer, service = make_service(cluster_invariants)
+        writer_clients(sim, cluster, service)
+        # batch_keys=64 -> one batch per donor; pace 400 leaves a wide
+        # quiet window after the final batch in which the kill lands,
+        # with the handoff (and the lease expiry) still ahead.
+        plan = FaultPlan(
+            [
+                Fault(400.0, "kill", "shard1"),
+                Fault(800.0, "repair", "shard1"),
+                Fault(1595.0, "kill", "shard1"),
+            ]
+        )
+        plan.arm(
+            sim,
+            service,
+            recovery_config=RecoveryConfig(batch_keys=64, pace_us=400.0),
+        )
+        sim.run(until=2500.0)
+        recovery = plan.recoveries[0]
+        # The stream had fully caught up — the exact hole the watermark
+        # check alone cannot see — yet the shard must not re-enter.
+        assert recovery.watermark == recovery.target
+        assert recovery.aborted and not recovery.active
+        assert service.membership.status("shard1") is ShardStatus.DEAD
+        assert service.ring.nodes == ["shard0", "shard2"]
+        assert service.failover.reinstatements == []
+        labels = cluster_labels(tracer)
+        assert "handoff" not in labels
+        assert "transfer_abort" in labels
+
+
+class TestPutRecheckIsNotARetry:
+    def test_replica_gain_on_final_attempt_still_acks(self):
+        """A ring that gains a member between a PUT's last write and its
+        ack must not make the client see a failure for a durable write:
+        the re-write loop is bookkeeping, not a routing retry."""
+        sim = Simulator()
+        cluster = build_cluster(sim, CLUSTER_EUROSYS17)
+        service = RfpCluster(
+            sim,
+            cluster,
+            shards=2,
+            rfp_config=RfpConfig(consecutive_slow_calls=1),
+            cost_model=StoreCostModel(jitter_probability=0.0),
+            cluster_config=ClusterConfig(replication_factor=2, max_op_retries=1),
+        )
+        client = service.connect(cluster.machines[3])
+        key = b"key0001"
+        service.preload([(key, b"seed")])
+        real = client._healthy_replicas
+        calls = []
+
+        def gains_member_after_first_read(k):
+            calls.append(k)
+            # First read (the write set): one replica short, as if the
+            # handoff had not landed yet; every later read (the ack-time
+            # re-check and the re-write round) sees the full set.
+            if len(calls) == 1:
+                return real(k)[:1]
+            return real(k)
+
+        client._healthy_replicas = gains_member_after_first_read
+        done = []
+
+        def body():
+            yield from client.put(key, b"value-1")
+            done.append(True)
+
+        sim.process(body())
+        sim.run(until=500.0)
+        assert done == [True]
+        for shard in service.replicas_for(key):
+            assert service.peek(shard, key) == b"value-1"
+
+
+class TestListenerLifecycle:
+    def test_listener_released_after_handoff(self, cluster_invariants):
+        sim, cluster, _, service = make_service(cluster_invariants)
+        writer_clients(sim, cluster, service)
+        baseline = len(service.membership._listeners)
+        plan = FaultPlan.kill_then_repair("shard1", 400.0, 800.0)
+        plan.arm(sim, service, recovery_config=RecoveryConfig(batch_keys=8))
+        sim.run(until=1500.0)
+        assert not plan.recoveries[0].active
+        assert len(service.membership._listeners) == baseline
+
+    def test_listener_released_after_abort(self, cluster_invariants):
+        sim, cluster, _, service = make_service(cluster_invariants)
+        writer_clients(sim, cluster, service)
+        baseline = len(service.membership._listeners)
+        plan = FaultPlan(
+            [
+                Fault(400.0, "kill", "shard1"),
+                Fault(800.0, "repair", "shard1"),
+                Fault(900.0, "kill", "shard1"),
+            ]
+        )
+        plan.arm(sim, service, recovery_config=RecoveryConfig(pace_us=150.0))
+        sim.run(until=2000.0)
+        assert plan.recoveries[0].aborted
+        assert len(service.membership._listeners) == baseline
+
+
 class TestRepairValidation:
     def test_repair_of_live_shard_rejected(self):
         _, _, _, service = make_service()
