@@ -34,6 +34,7 @@ from typing import List, Optional
 from repro.cluster.membership import Membership, ShardStatus
 from repro.cluster.ring import HashRing
 from repro.errors import ClusterError
+from repro.sim.atomic import atomic_section
 from repro.sim.core import Simulator
 from repro.sim.trace import Tracer
 
@@ -81,6 +82,7 @@ class FailoverCoordinator:
         """Simulated time of the most recent takeover, if any."""
         return self.events[-1].at_us if self.events else None
 
+    @atomic_section
     def _on_status_change(self, node: str, status: ShardStatus) -> None:
         if status is not ShardStatus.DEAD or node not in self.ring:
             return
@@ -106,6 +108,7 @@ class FailoverCoordinator:
                 vnodes=self.ring.vnodes,
             )
 
+    @atomic_section
     def reinstate(self, node: str) -> List[str]:
         """Reverse rebalance: re-insert a recovered shard's vnodes.
 

@@ -39,6 +39,7 @@ import enum
 from typing import Callable, Dict, Generator, List, Optional
 
 from repro.errors import ClusterError
+from repro.sim.atomic import atomic_section
 from repro.sim.core import Process, Simulator
 from repro.sim.trace import Tracer
 
@@ -183,6 +184,7 @@ class Membership:
         self._last_beat_us[node] = self.sim.now
         self._transition(node, ShardStatus.RECOVERING, reason)
 
+    @atomic_section
     def promote(self, node: str) -> None:
         """Recovery finished: ``RECOVERING`` becomes routable ``HEALTHY``.
 
@@ -204,16 +206,20 @@ class Membership:
     # Internals
     # ------------------------------------------------------------------
 
+    @atomic_section
     def _transition(self, node: str, status: ShardStatus, reason: str) -> None:
+        # Literal labels per branch (rather than a status->label table)
+        # so the trace-schema lint can check each phase statically.
         self._status[node] = status
         if self.tracer is not None:
-            label = {
-                ShardStatus.HEALTHY: "recovered",
-                ShardStatus.SUSPECT: "suspect",
-                ShardStatus.DEAD: "dead",
-                ShardStatus.RECOVERING: "rejoin",
-            }[status]
-            self.tracer.record("cluster", label, shard=node, reason=reason)
+            if status is ShardStatus.HEALTHY:
+                self.tracer.record("cluster", "recovered", shard=node, reason=reason)
+            elif status is ShardStatus.SUSPECT:
+                self.tracer.record("cluster", "suspect", shard=node, reason=reason)
+            elif status is ShardStatus.DEAD:
+                self.tracer.record("cluster", "dead", shard=node, reason=reason)
+            else:
+                self.tracer.record("cluster", "rejoin", shard=node, reason=reason)
         for listener in list(self._listeners):
             listener(node, status)
 

@@ -62,6 +62,7 @@ from repro.cluster.membership import ShardStatus
 from repro.errors import ClusterError
 from repro.hw.verbs import READ_REQUEST_WIRE_BYTES
 from repro.kv.store import partition_of
+from repro.sim.atomic import atomic_section
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.cluster.router import RfpCluster
@@ -182,6 +183,7 @@ class RecoveryCoordinator:
     # Signals
     # ------------------------------------------------------------------
 
+    @atomic_section
     def _on_status_change(self, node: str, status: ShardStatus) -> None:
         """Membership transitions while the transfer runs.
 
@@ -206,6 +208,7 @@ class RecoveryCoordinator:
         if set(self.service.ring.nodes) != expected:
             self._replan_needed = True
 
+    @atomic_section
     def note_write(self, key: bytes, value: bytes) -> None:
         """The router acknowledged a PUT while this recovery runs.
 
@@ -299,6 +302,7 @@ class RecoveryCoordinator:
             self._handoff()
             return
 
+    @atomic_section
     def _replan(self) -> Dict[str, List[bytes]]:
         """The ring changed under the transfer: rebuild plan and targets.
 
@@ -402,6 +406,7 @@ class RecoveryCoordinator:
     # Endgame
     # ------------------------------------------------------------------
 
+    @atomic_section
     def _handoff(self) -> None:
         """Atomic re-entry: ring surgery + promotion + trace, no yields.
 
@@ -437,6 +442,7 @@ class RecoveryCoordinator:
                 target=self.target,
             )
 
+    @atomic_section
     def _finish_aborted(self) -> None:
         self.service.membership.unsubscribe(self._on_status_change)
         self._finished = True

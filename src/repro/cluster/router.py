@@ -44,6 +44,7 @@ from repro.hw.cluster import Cluster
 from repro.hw.machine import Machine
 from repro.kv.jakiro import Jakiro, JakiroClient
 from repro.kv.store import StoreCostModel, partition_of
+from repro.sim.atomic import atomic_section
 from repro.sim.core import AllOf, AnyOf, Process, Simulator
 from repro.sim.resources import Resource
 from repro.sim.trace import Tracer
@@ -225,6 +226,7 @@ class RfpCluster:
         self._clients.append(client)
         return client
 
+    @atomic_section
     def kill(self, shard_name: str) -> None:
         """Crash one shard: its server stops serving and its heartbeats
         stop; the NIC keeps serving one-sided reads (a host crash takes
@@ -281,6 +283,7 @@ class RfpCluster:
         recovery.start()
         return recovery
 
+    @atomic_section
     def note_put(self, key: bytes, value: bytes) -> None:
         """Router hook: one PUT fully acknowledged.  Recoveries in flight
         forward the write to their rejoiner if its restored ranges cover

@@ -196,6 +196,13 @@ class RfpClient:
         )
         yield completion
         self._send_completed_at = sim.now
+        # Re-check after resuming: the guard above ran before this
+        # process yielded, so a concurrent send interleaved at the
+        # yields would slip past it and both would claim the channel.
+        if self._inflight_parity is not None:
+            raise ProtocolError(
+                "concurrent client_send interleaved on one channel"
+            )
         self._inflight_parity = parity
         self._trace("request_sent", seq=self.seq, bytes=len(payload))
 
@@ -234,6 +241,13 @@ class RfpClient:
             latency_us=round(sim.now - self._call_started_at, 3),
             mode=self.policy.mode.name,
         )
+        # Re-check after the yields: only the call that owns the
+        # in-flight parity may clear it (a concurrent recv interleaved
+        # at the reply wait would otherwise clear someone else's).
+        if self._inflight_parity != parity:
+            raise ProtocolError(
+                "concurrent client_recv interleaved on one channel"
+            )
         self._inflight_parity = None
         return response
 

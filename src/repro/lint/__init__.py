@@ -1,12 +1,18 @@
 """Static determinism lint and runtime RFP protocol invariant checking.
 
-Two layers guard the promises the reproduction rests on:
+Three layers guard the promises the reproduction rests on:
 
 - :mod:`repro.lint.rules` / :mod:`repro.lint.engine` — an AST lint that
   walks the source tree and reports determinism hazards (wall-clock
   reads, global RNG state, float time equality, mixed unit suffixes,
   mutable defaults, non-event yields in simulator processes) with
   ``file:line`` positions.  Run it with ``python -m repro.lint``.
+- :mod:`repro.lint.atomicity` / :mod:`repro.lint.schema` — the
+  cross-yield analyses layered on top: a call graph proving declared
+  ``@atomic_section`` regions never reach a ``yield``, a stale-snapshot
+  (cross-yield read-modify-write) detector, and a trace-phase schema
+  registry that validates every ``tracer.record`` call site against the
+  declared vocabulary.
 - :mod:`repro.lint.invariants` — :class:`~repro.sim.trace.Tracer`
   observers that check every simulated RFP request against the paper's
   §3.2 state machine while the simulation runs
@@ -17,20 +23,37 @@ Two layers guard the promises the reproduction rests on:
 See ``docs/lint.md`` for the rule catalogue and the invariant list.
 """
 
+from repro.lint.base import FileContext, Rule, Violation
+from repro.lint.callgraph import ProjectContext, ProjectIndex
 from repro.lint.engine import lint_file, lint_paths, lint_source
 from repro.lint.invariants import (
     ClusterInvariantChecker,
     InvariantViolation,
     RfpInvariantChecker,
 )
-from repro.lint.rules import ALL_RULES, Violation
+from repro.lint.rules import ALL_RULES, rule_names
+from repro.lint.schema import (
+    TRACE_HELPERS,
+    TRACE_SCHEMA,
+    check_registry_coverage,
+    collect_record_call_sites,
+)
 
 __all__ = [
     "ALL_RULES",
+    "FileContext",
+    "ProjectContext",
+    "ProjectIndex",
+    "Rule",
+    "TRACE_HELPERS",
+    "TRACE_SCHEMA",
     "Violation",
+    "check_registry_coverage",
+    "collect_record_call_sites",
     "lint_file",
     "lint_paths",
     "lint_source",
+    "rule_names",
     "InvariantViolation",
     "RfpInvariantChecker",
     "ClusterInvariantChecker",

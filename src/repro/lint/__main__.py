@@ -3,17 +3,29 @@
 Exits 0 when the tree is clean, 1 when any violation is found, 2 on
 usage errors.  With no paths, lints ``src`` and ``benchmarks`` relative
 to the current directory (the repository layout).
+
+Unless ``--select`` narrows the run, the trace-schema registry is also
+cross-checked against the runtime invariant checkers (see
+:func:`repro.lint.schema.check_registry_coverage`); inconsistencies are
+reported as ``trace-registry`` findings.
+
+``--json`` prints the findings as a JSON array (one object per
+violation with ``path``/``line``/``col``/``rule``/``message`` keys) for
+tooling; exit codes are unchanged.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from typing import List, Optional, Sequence
 
+from repro.lint.base import Violation
 from repro.lint.engine import lint_paths
 from repro.lint.rules import ALL_RULES, rule_names
+from repro.lint.schema import check_registry_coverage
 
 _DEFAULT_PATHS = ("src", "benchmarks")
 
@@ -37,6 +49,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--select",
         metavar="RULES",
         help="comma-separated rule names to run (default: all)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit violations as a JSON array instead of text",
+    )
+    parser.add_argument(
+        "--warn-unused-suppressions",
+        action="store_true",
+        help="report '# lint: disable' pragmas that suppress nothing",
     )
     args = parser.parse_args(argv)
 
@@ -67,7 +89,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"no such path(s): {', '.join(missing)}", file=sys.stderr)
         return 2
 
-    violations = lint_paths(paths, rules=rules)
+    violations = lint_paths(
+        paths,
+        rules=rules,
+        warn_unused_suppressions=args.warn_unused_suppressions,
+    )
+    if rules is None:
+        # Full runs also prove the registry itself is consistent with
+        # the runtime checkers — a declared-but-unhandled phase is as
+        # much a lint failure as a bad call site.
+        violations.extend(
+            Violation("repro/lint/schema.py", 1, 0, "trace-registry", problem)
+            for problem in check_registry_coverage()
+        )
+
+    if args.json:
+        print(json.dumps([v.as_dict() for v in violations], indent=2))
+        return 1 if violations else 0
+
     for violation in violations:
         print(violation.format())
     checked = "all rules" if rules is None else f"{len(rules)} selected rule(s)"

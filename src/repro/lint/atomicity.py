@@ -1,0 +1,290 @@
+"""Cross-yield atomicity analysis for simulator processes.
+
+Three rules, all built on the shared single-parse contexts:
+
+``atomic-section-yields`` (project-scoped)
+    A function declared atomic (``@atomic_section`` decorator or a
+    ``# sim: atomic`` contract comment on its ``def`` line) must have no
+    transitive call path that reaches a ``yield``.  The call graph comes
+    from :mod:`repro.lint.callgraph`; the offending chain is spelled out
+    in the message so the fix is obvious.
+
+``cross-yield-rmw`` (per-file)
+    Inside a generator-based process, flags the stale-snapshot pattern:
+    an attribute of ``self`` read *before* a yield and written *after*
+    it without re-reading in between.  Everything the process observed
+    before the yield may have changed while it was suspended — ring
+    membership, shard status, transfer watermarks — so writing back a
+    pre-yield snapshot silently resurrects dead state.  Re-reading the
+    attribute after the last intervening yield (including via
+    ``+=``-style augmented assignment, which reads and writes in one
+    statement) is the sanctioned fix and silences the rule.
+
+``listener-must-not-yield`` (project-scoped)
+    A generator function registered via ``*.subscribe(...)`` is almost
+    certainly a bug: the membership/coordinator listener protocol calls
+    listeners synchronously, so passing a generator function just builds
+    a generator object and discards it — the body never runs.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.lint.base import FileContext, Rule, Violation
+from repro.lint.callgraph import ProjectContext, _walk_no_nested_functions
+
+__all__ = ["ATOMICITY_RULES"]
+
+
+# ----------------------------------------------------------------------
+# atomic-section-yields
+# ----------------------------------------------------------------------
+
+
+def _format_chain(chain: List[Tuple[object, Optional[object]]]) -> str:
+    parts = []
+    for info, call in chain:
+        label = info.qualname  # type: ignore[attr-defined]
+        if call is not None:
+            label += f" (line {call.lineno})"  # type: ignore[attr-defined]
+        parts.append(label)
+    return " -> ".join(parts)
+
+
+def check_atomic_section_yields(
+    context: FileContext, project: ProjectContext
+) -> Iterator[Violation]:
+    index = project.index
+    for info in index.functions:
+        if info.path != context.path or not info.atomic_declared:
+            continue
+        if info.is_generator:
+            yield Violation(
+                path=context.path,
+                line=info.lineno,
+                col=info.col,
+                rule="atomic-section-yields",
+                message=(
+                    f"atomic section {info.qualname!r} contains yield; "
+                    "a declared-atomic region must complete without "
+                    "passing simulated time"
+                ),
+            )
+            continue
+        chain = index.yield_path(info)
+        if chain is not None:
+            yield Violation(
+                path=context.path,
+                line=info.lineno,
+                col=info.col,
+                rule="atomic-section-yields",
+                message=(
+                    f"atomic section {info.qualname!r} can reach a yield "
+                    f"via {_format_chain(chain)}; every transitive call "
+                    "from a declared-atomic region must be yield-free"
+                ),
+            )
+
+
+# ----------------------------------------------------------------------
+# cross-yield-rmw
+# ----------------------------------------------------------------------
+
+
+def _attr_path(node: ast.AST, root: str) -> Optional[str]:
+    """Dotted path for ``self.a.b`` when rooted at ``root``, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name) and node.id == root:
+        return ".".join(reversed(parts))
+    return None
+
+
+def _position(node: ast.AST) -> Tuple[int, int]:
+    return (node.lineno, node.col_offset)
+
+
+def _end_position(node: ast.AST) -> Tuple[int, int]:
+    end_line = getattr(node, "end_lineno", None)
+    end_col = getattr(node, "end_col_offset", None)
+    if end_line is None:
+        return _position(node)
+    return (end_line, end_col or 0)
+
+
+def check_cross_yield_rmw(context: FileContext) -> Iterator[Violation]:
+    for fn in context.function_defs:
+        assert isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef))
+        body_nodes = list(_walk_no_nested_functions(fn))
+        yields = sorted(
+            _position(node)
+            for node in body_nodes
+            if isinstance(node, (ast.Yield, ast.YieldFrom))
+        )
+        if not yields:
+            continue
+        args = list(fn.args.posonlyargs) + list(fn.args.args)
+        if not args:
+            continue
+        self_name = args[0].arg
+
+        # Gather every read and write of each ``self``-rooted attribute
+        # path, in source order.  An AugAssign target counts as both: it
+        # re-reads the current value in the same statement it writes.
+        reads: Dict[str, List[Tuple[int, int]]] = {}
+        writes: Dict[str, List[Tuple[ast.Attribute, Tuple[int, int]]]] = {}
+        # The revalidation window for a write runs to the end of its
+        # *statement*: ``self.x = self.x + snap`` re-reads on the RHS,
+        # which is after the target node but inside the same assignment.
+        stmt_end: Dict[int, Tuple[int, int]] = {}
+        for node in body_nodes:
+            if isinstance(node, (ast.Assign, ast.AnnAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                end = _end_position(node)
+                for target in targets:
+                    for sub in ast.walk(target):
+                        if isinstance(sub, ast.Attribute):
+                            stmt_end[id(sub)] = end
+        for node in body_nodes:
+            if not isinstance(node, ast.Attribute):
+                continue
+            path = _attr_path(node, self_name)
+            if path is None:
+                continue
+            if isinstance(node.ctx, ast.Store):
+                writes.setdefault(path, []).append((node, _position(node)))
+            elif isinstance(node.ctx, ast.Load):
+                reads.setdefault(path, []).append(_position(node))
+            else:  # AugStore does not exist since 3.9; AugAssign uses Store
+                continue
+        for node in body_nodes:
+            if isinstance(node, ast.AugAssign) and isinstance(
+                node.target, ast.Attribute
+            ):
+                path = _attr_path(node.target, self_name)
+                if path is not None:
+                    reads.setdefault(path, []).append(_position(node.target))
+
+        for path, write_list in writes.items():
+            read_list = sorted(reads.get(path, []))
+            for write_node, write_pos in write_list:
+                before = [y for y in yields if y < write_pos]
+                if not before:
+                    continue
+                last_yield = before[-1]
+                # Stale only if some read happened before a yield that
+                # precedes this write...
+                stale_read = any(
+                    read < yield_pos
+                    for read in read_list
+                    for yield_pos in before
+                )
+                if not stale_read:
+                    continue
+                # ...and the value was not re-read between the last
+                # intervening yield and the end of the write statement.
+                window_end = stmt_end.get(
+                    id(write_node), _end_position(write_node)
+                )
+                revalidated = any(
+                    last_yield < read <= window_end for read in read_list
+                )
+                if revalidated:
+                    continue
+                yield Violation(
+                    path=context.path,
+                    line=write_pos[0],
+                    col=write_pos[1],
+                    rule="cross-yield-rmw",
+                    message=(
+                        f"'{self_name}.{path}' is read before a yield and "
+                        "written after it without re-reading; the pre-yield "
+                        "snapshot may be stale — re-read (or use an "
+                        "augmented assignment) after resuming"
+                    ),
+                )
+
+
+# ----------------------------------------------------------------------
+# listener-must-not-yield
+# ----------------------------------------------------------------------
+
+
+def check_listener_must_not_yield(
+    context: FileContext, project: ProjectContext
+) -> Iterator[Violation]:
+    index = project.index
+    for node in context.nodes:
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and func.attr == "subscribe"):
+            continue
+        for arg in node.args:
+            info = None
+            if isinstance(arg, ast.Attribute) and isinstance(arg.value, ast.Name):
+                # ``membership.subscribe(self.on_change)`` — resolve the
+                # method name project-wide only when unambiguous.
+                definitions = index.definitions(arg.attr)
+                if len(definitions) == 1:
+                    info = definitions[0]
+            elif isinstance(arg, ast.Name):
+                definitions = [
+                    d
+                    for d in index.definitions(arg.id)
+                    if d.path == context.path and d.class_name is None
+                ]
+                if definitions:
+                    info = definitions[0]
+            if info is not None and info.is_generator:
+                yield Violation(
+                    path=context.path,
+                    line=arg.lineno,
+                    col=arg.col_offset,
+                    rule="listener-must-not-yield",
+                    message=(
+                        f"{info.qualname!r} is a generator function "
+                        "registered as a listener; listeners are invoked "
+                        "synchronously, so the generator body would never "
+                        "run — spawn a process from a plain function "
+                        "instead"
+                    ),
+                )
+
+
+ATOMICITY_RULES: Tuple[Rule, ...] = (
+    Rule(
+        name="atomic-section-yields",
+        description=(
+            "Declared-atomic functions (@atomic_section / '# sim: atomic') "
+            "must have no transitive call path reaching a yield."
+        ),
+        check=check_atomic_section_yields,
+        project=True,
+    ),
+    Rule(
+        name="cross-yield-rmw",
+        description=(
+            "Flag attribute state read before a yield and written after it "
+            "without re-reading (stale-snapshot read-modify-write)."
+        ),
+        check=check_cross_yield_rmw,
+    ),
+    Rule(
+        name="listener-must-not-yield",
+        description=(
+            "Generator functions must not be registered via subscribe(); "
+            "listeners run synchronously."
+        ),
+        check=check_listener_must_not_yield,
+        project=True,
+    ),
+)

@@ -1,0 +1,119 @@
+"""Shared lint vocabulary: violations, file contexts, and rules.
+
+Split out of :mod:`repro.lint.rules` so the rule modules
+(:mod:`repro.lint.rules`, :mod:`repro.lint.atomicity`,
+:mod:`repro.lint.schema`) can all import the base types while
+``rules.ALL_RULES`` assembles the full catalogue without an import
+cycle.
+
+A :class:`FileContext` is built **once** per file per lint run — the
+tree is parsed once and the flattened node list / function-def list are
+computed lazily and cached, so every rule shares one parse and one walk
+instead of re-walking the tree per rule.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Any, Callable, Iterator, List, Tuple, Union
+
+__all__ = ["Violation", "FileContext", "Rule"]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule violation at a source position."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+
+    def as_dict(self) -> dict:
+        """JSON-ready mapping (the CLI's ``--json`` mode)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+
+@dataclass(frozen=True)
+class FileContext:
+    """Everything a rule may look at for one file."""
+
+    path: str
+    tree: ast.Module
+    source: str
+
+    @property
+    def is_sim_code(self) -> bool:
+        """True for files under the simulator package itself.
+
+        ``repro/sim`` owns the clock and the seeded RNG streams, so the
+        wall-clock and RNG-construction bans do not apply inside it.
+        """
+        normalized = self.path.replace("\\", "/")
+        return "repro/sim/" in normalized or normalized.startswith("sim/")
+
+    @cached_property
+    def nodes(self) -> Tuple[ast.AST, ...]:
+        """Every node in the tree, walked once and shared by all rules."""
+        return tuple(ast.walk(self.tree))
+
+    @cached_property
+    def function_defs(self) -> Tuple[ast.AST, ...]:
+        """Every (sync or async) function definition in the tree."""
+        return tuple(
+            node
+            for node in self.nodes
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        )
+
+    @cached_property
+    def lines(self) -> Tuple[str, ...]:
+        """Source split into lines (1-indexed via ``lines[lineno - 1]``)."""
+        return tuple(self.source.splitlines())
+
+
+class Rule:
+    """A named lint rule.
+
+    ``project=False`` (the default): ``check(context)`` sees one file.
+    ``project=True``: ``check(context, project)`` additionally receives
+    the :class:`repro.lint.callgraph.ProjectContext` shared by every
+    file in the run — cross-file analyses (the atomicity call graph)
+    ride the same single-parse contexts the per-file rules use.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        description: str,
+        check: Union[
+            Callable[[FileContext], Iterator[Violation]],
+            Callable[[FileContext, Any], Iterator[Violation]],
+        ],
+        project: bool = False,
+    ) -> None:
+        self.name = name
+        self.description = description
+        self.check = check
+        self.project = project
+
+    def run(self, context: FileContext, project: Any) -> List[Violation]:
+        if self.project:
+            return list(self.check(context, project))  # type: ignore[call-arg]
+        return list(self.check(context))  # type: ignore[call-arg]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        scope = "project" if self.project else "file"
+        return f"Rule({self.name}, {scope})"

@@ -1,0 +1,316 @@
+"""Static call graph over generator-based simulator code.
+
+The atomicity analyzer needs one question answered: *starting from this
+function, can any transitive call path reach a ``yield``?*  In the
+cooperative simulator that is exactly the question "can simulated time
+pass here" — the engine only switches processes at yields, so a region
+with no reachable yield is atomic by construction.
+
+:class:`ProjectIndex` is built once per lint run from the already-parsed
+:class:`~repro.lint.base.FileContext` trees (no re-parsing, no imports
+of the analyzed code) and shared by every project-scoped rule through
+:class:`ProjectContext`.
+
+Call resolution is deliberately conservative — this is a lint, not a
+type checker:
+
+- ``self.method()`` resolves inside the enclosing class, then through
+  same-module base classes, then (if exactly one definition with that
+  name exists anywhere in the run) project-wide.
+- Bare ``helper()`` resolves to a module-level function in the same
+  file.
+- ``obj.attr.method()`` resolves project-wide only when the method name
+  has exactly **one** definition in the analyzed files; ambiguous names
+  (``get``, ``put``, ``record``, ...) stay unresolved and are *not*
+  followed.
+
+Unresolved calls are treated as non-yielding, so the analyzer can miss
+a smuggled yield behind an ambiguous name — which is why
+:func:`repro.sim.atomic.atomic_section` keeps its runtime checks as
+defense in depth (a declared-atomic generator function fails at import
+time regardless of what the call graph can see).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.lint.base import FileContext
+
+__all__ = ["CallSite", "FunctionInfo", "ProjectIndex", "ProjectContext"]
+
+#: Trailing contract comment equivalent to the ``@atomic_section``
+#: decorator, for code that cannot import :mod:`repro.sim`.
+_ATOMIC_COMMENT = re.compile(r"#\s*sim:\s*atomic\b")
+
+#: Decorator names recognized as the atomic contract.
+_ATOMIC_DECORATORS = {"atomic_section"}
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One outgoing call from a function body."""
+
+    kind: str  #: ``"self"`` | ``"bare"`` | ``"attr"``
+    name: str  #: method/function name (the terminal identifier)
+    lineno: int
+
+
+@dataclass
+class FunctionInfo:
+    """One module-level function or depth-1 method, classified."""
+
+    path: str
+    class_name: Optional[str]
+    name: str
+    lineno: int
+    col: int
+    is_generator: bool  #: contains any yield outside nested defs
+    yields: bool  #: some yield may suspend on a simulator waitable
+    atomic_declared: bool  #: @atomic_section or ``# sim: atomic``
+    calls: List[CallSite] = field(default_factory=list)
+
+    @property
+    def qualname(self) -> str:
+        return f"{self.class_name}.{self.name}" if self.class_name else self.name
+
+
+def _walk_no_nested_functions(node: ast.AST) -> Iterator[ast.AST]:
+    """Walk ``node``'s body without descending into nested def/lambda."""
+    stack: List[ast.AST] = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop()
+        yield child
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(child))
+
+
+def _first_arg_name(node: ast.AST) -> Optional[str]:
+    assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    args = list(node.args.posonlyargs) + list(node.args.args)
+    return args[0].arg if args else None
+
+
+def _call_sites(node: ast.AST, self_name: Optional[str]) -> List[CallSite]:
+    sites: List[CallSite] = []
+    for child in _walk_no_nested_functions(node):
+        if not isinstance(child, ast.Call):
+            continue
+        func = child.func
+        if isinstance(func, ast.Name):
+            sites.append(CallSite("bare", func.id, child.lineno))
+        elif isinstance(func, ast.Attribute):
+            receiver = func.value
+            if (
+                self_name is not None
+                and isinstance(receiver, ast.Name)
+                and receiver.id == self_name
+            ):
+                sites.append(CallSite("self", func.attr, child.lineno))
+            else:
+                sites.append(CallSite("attr", func.attr, child.lineno))
+    return sites
+
+
+def _may_pass_sim_time(node: ast.AST) -> bool:
+    """Could this yield suspend the process on a simulator waitable?
+
+    Data generators (``yield key, value``) iterate synchronously — no
+    simulated time passes — so yields whose value demonstrably cannot be
+    an Event/Process do not make their function "yielding" for
+    atomicity purposes.  ``yield from`` always counts: the delegate
+    could be anything.
+    """
+    if isinstance(node, ast.YieldFrom):
+        return True
+    assert isinstance(node, ast.Yield)
+    value = node.value
+    if value is None or isinstance(value, ast.Constant):
+        return False
+    if isinstance(value, (ast.List, ast.Tuple, ast.Dict, ast.Set)):
+        return False
+    if isinstance(value, (ast.BinOp, ast.BoolOp, ast.Compare, ast.JoinedStr)):
+        return False
+    return True
+
+
+def _yield_flags(node: ast.AST) -> Tuple[bool, bool]:
+    """(is_generator, yields_sim_time) for one function body."""
+    is_generator = False
+    sim_time = False
+    for child in _walk_no_nested_functions(node):
+        if isinstance(child, (ast.Yield, ast.YieldFrom)):
+            is_generator = True
+            if _may_pass_sim_time(child):
+                sim_time = True
+    return is_generator, sim_time
+
+
+def _declared_atomic(node: ast.AST, lines: Sequence[str]) -> bool:
+    assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    for decorator in node.decorator_list:
+        terminal = decorator
+        if isinstance(terminal, ast.Call):
+            terminal = terminal.func
+        name = (
+            terminal.attr
+            if isinstance(terminal, ast.Attribute)
+            else terminal.id if isinstance(terminal, ast.Name) else None
+        )
+        if name in _ATOMIC_DECORATORS:
+            return True
+    if 0 < node.lineno <= len(lines):
+        if _ATOMIC_COMMENT.search(lines[node.lineno - 1]):
+            return True
+    return False
+
+
+class ProjectIndex:
+    """Functions and their outgoing calls across every analyzed file."""
+
+    def __init__(self) -> None:
+        self.functions: List[FunctionInfo] = []
+        #: (path, class_name) -> {method name -> info}
+        self._methods: Dict[Tuple[str, Optional[str]], Dict[str, FunctionInfo]] = {}
+        #: (path, name) -> module-level function
+        self._module_functions: Dict[Tuple[str, str], FunctionInfo] = {}
+        #: bare name -> every definition in the run
+        self._by_name: Dict[str, List[FunctionInfo]] = {}
+        #: (path, class_name) -> base-class names (for same-module MRO walk)
+        self._bases: Dict[Tuple[str, str], List[str]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(cls, files: Sequence[FileContext]) -> "ProjectIndex":
+        index = cls()
+        for context in files:
+            index._index_file(context)
+        return index
+
+    def _index_file(self, context: FileContext) -> None:
+        lines = context.lines
+        for statement in context.tree.body:
+            if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._add(context.path, None, statement, lines)
+            elif isinstance(statement, ast.ClassDef):
+                self._bases[(context.path, statement.name)] = [
+                    base.id
+                    for base in statement.bases
+                    if isinstance(base, ast.Name)
+                ]
+                for member in statement.body:
+                    if isinstance(member, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        self._add(context.path, statement.name, member, lines)
+
+    def _add(
+        self,
+        path: str,
+        class_name: Optional[str],
+        node: ast.AST,
+        lines: Sequence[str],
+    ) -> None:
+        assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        is_generator, sim_time = _yield_flags(node)
+        info = FunctionInfo(
+            path=path,
+            class_name=class_name,
+            name=node.name,
+            lineno=node.lineno,
+            col=node.col_offset,
+            is_generator=is_generator,
+            yields=sim_time,
+            atomic_declared=_declared_atomic(node, lines),
+            calls=_call_sites(node, _first_arg_name(node) if class_name else None),
+        )
+        self.functions.append(info)
+        self._methods.setdefault((path, class_name), {})[info.name] = info
+        if class_name is None:
+            self._module_functions[(path, info.name)] = info
+        self._by_name.setdefault(info.name, []).append(info)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def find(self, class_name: Optional[str], name: str) -> Optional[FunctionInfo]:
+        """First definition of ``class_name.name`` (or bare ``name``)."""
+        for info in self._by_name.get(name, []):
+            if info.class_name == class_name:
+                return info
+        return None
+
+    def definitions(self, name: str) -> List[FunctionInfo]:
+        return list(self._by_name.get(name, []))
+
+    def resolve(self, caller: FunctionInfo, call: CallSite) -> Optional[FunctionInfo]:
+        """Resolve one call site, or ``None`` when unknown/ambiguous."""
+        if call.kind == "self":
+            seen = set()
+            class_name: Optional[str] = caller.class_name
+            while class_name is not None and class_name not in seen:
+                seen.add(class_name)
+                methods = self._methods.get((caller.path, class_name), {})
+                if call.name in methods:
+                    return methods[call.name]
+                bases = self._bases.get((caller.path, class_name), [])
+                class_name = bases[0] if bases else None
+            definitions = self._by_name.get(call.name, [])
+            return definitions[0] if len(definitions) == 1 else None
+        if call.kind == "bare":
+            return self._module_functions.get((caller.path, call.name))
+        definitions = self._by_name.get(call.name, [])
+        return definitions[0] if len(definitions) == 1 else None
+
+    # ------------------------------------------------------------------
+    # Reachability
+    # ------------------------------------------------------------------
+
+    def yield_path(
+        self, root: FunctionInfo
+    ) -> Optional[List[Tuple[FunctionInfo, Optional[CallSite]]]]:
+        """Shortest-found call chain from ``root`` to a yielding function.
+
+        Returns ``[(root, call), ..., (yielder, None)]`` or ``None`` if
+        no resolved path reaches a yield.  ``root`` itself yielding is a
+        one-element chain.
+        """
+        if root.yields:
+            return [(root, None)]
+        stack: List[Tuple[FunctionInfo, List[Tuple[FunctionInfo, Optional[CallSite]]]]]
+        stack = [(root, [])]
+        visited = {id(root)}
+        while stack:
+            info, trail = stack.pop()
+            for call in info.calls:
+                callee = self.resolve(info, call)
+                if callee is None or id(callee) in visited:
+                    continue
+                visited.add(id(callee))
+                extended = trail + [(info, call)]
+                if callee.yields:
+                    return extended + [(callee, None)]
+                stack.append((callee, extended))
+        return None
+
+
+class ProjectContext:
+    """Every parsed file of one lint run plus the shared call graph.
+
+    Built once by the engine; the index is computed lazily on first use
+    so runs that select only per-file rules never pay for it.
+    """
+
+    def __init__(self, files: Sequence[FileContext]) -> None:
+        self.files: Tuple[FileContext, ...] = tuple(files)
+
+    @cached_property
+    def index(self) -> ProjectIndex:
+        return ProjectIndex.build(self.files)

@@ -1,24 +1,45 @@
 """Lint driver: file discovery, pragma suppression, rule dispatch.
 
-The engine parses each file once and hands the tree to every rule.
+The engine parses each file exactly once: the :class:`FileContext` built
+here carries the tree (plus cached node/function-def walks) shared by
+every rule, and a :class:`~repro.lint.callgraph.ProjectContext` over all
+files of the run backs the project-scoped rules (the atomicity call
+graph) without a second parse.
+
 Violations can be suppressed per line with an explicit pragma::
 
     started = time.time()  # lint: disable=no-wall-clock -- CLI wall time
 
-(`# lint: disable` with no rule list suppresses every rule on that
+(``# lint: disable`` with no rule list suppresses every rule on that
 line), or for a whole file with ``# lint: skip-file`` within the first
 five lines.  Pragmas are deliberately loud: the point of the lint is
 that exceptions to the determinism contract are visible in the diff.
+
+Pragmas are read from the token stream, so pragma-shaped text inside a
+string or docstring is ignored — only real comments suppress.
+
+A suppression that stops matching anything is itself a defect (the
+exception it documented is gone, or the rule name is typo'd), so the
+engine can report stale pragmas as ``unused-suppression`` violations —
+pass ``warn_unused_suppressions=True`` (CLI:
+``--warn-unused-suppressions``).  A pragma is only judged when the run
+actually exercised it: named pragmas require every listed rule to be
+selected, bare pragmas require the full default rule set.
 """
 
 from __future__ import annotations
 
 import ast
+import io
 import os
 import re
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
-from repro.lint.rules import ALL_RULES, FileContext, Rule, Violation
+from repro.lint.base import FileContext, Rule, Violation
+from repro.lint.callgraph import ProjectContext
+from repro.lint.rules import ALL_RULES
 
 __all__ = ["lint_source", "lint_file", "lint_paths", "iter_python_files"]
 
@@ -36,59 +57,174 @@ _SKIP_DIRS = {
 }
 
 
-def _line_suppressions(source: str) -> Dict[int, Optional[Set[str]]]:
-    """Map line number -> suppressed rule names (None = all rules)."""
-    suppressions: Dict[int, Optional[Set[str]]] = {}
-    for lineno, line in enumerate(source.splitlines(), start=1):
-        match = _DISABLE_PRAGMA.search(line)
+@dataclass
+class _Pragma:
+    """One ``# lint: disable`` comment and whether it earned its keep."""
+
+    lineno: int
+    col: int
+    names: Optional[Set[str]]  #: None = bare pragma (all rules)
+    used: bool = False
+
+
+@dataclass
+class _FileState:
+    """Everything the engine derives from one file before rules run."""
+
+    context: Optional[FileContext]
+    pragmas: Dict[int, _Pragma] = field(default_factory=dict)
+    skipped: bool = False
+    parse_error: Optional[Violation] = None
+
+
+def _pragmas_from_comments(
+    comments: Iterable[Tuple[int, int, str]],
+) -> Tuple[bool, Dict[int, _Pragma]]:
+    """(skip_file, pragmas) from ``(lineno, col, text)`` comment tokens."""
+    skip = False
+    pragmas: Dict[int, _Pragma] = {}
+    for lineno, col, text in comments:
+        if lineno <= 5 and _SKIP_FILE_PRAGMA.search(text):
+            skip = True
+        match = _DISABLE_PRAGMA.search(text)
         if not match:
             continue
         listed = match.group(1)
+        names: Optional[Set[str]]
         if listed is None:
-            suppressions[lineno] = None
+            names = None
         else:
-            suppressions[lineno] = {
-                name.strip() for name in listed.split(",") if name.strip()
-            }
-    return suppressions
+            # ``disable=a,b -- reason`` — the documented trailer; rule
+            # names use single hyphens, so ``--`` always ends the list.
+            listed = listed.split("--", 1)[0]
+            names = {name.strip() for name in listed.split(",") if name.strip()}
+        pragmas[lineno] = _Pragma(lineno=lineno, col=col, names=names)
+    return skip, pragmas
 
 
-def _file_skipped(source: str) -> bool:
-    head = source.splitlines()[:5]
-    return any(_SKIP_FILE_PRAGMA.search(line) for line in head)
+def _extract_pragmas(source: str) -> Tuple[bool, Dict[int, _Pragma]]:
+    """Scan the token stream for pragma comments.
+
+    Tokenizing (rather than scanning raw lines) keeps pragma-shaped text
+    inside strings/docstrings from being treated as real suppressions.
+    Files that fail to tokenize fall back to the raw line scan — they
+    will surface a ``syntax-error`` violation from the parse anyway.
+    """
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        comments = [
+            (token.start[0], token.start[1], token.string)
+            for token in tokens
+            if token.type == tokenize.COMMENT
+        ]
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        comments = []
+        for lineno, line in enumerate(source.splitlines(), start=1):
+            index = line.find("#")
+            if index >= 0:
+                comments.append((lineno, index, line[index:]))
+    return _pragmas_from_comments(comments)
+
+
+def _prepare(source: str, path: str) -> _FileState:
+    """Tokenize + parse one file into a ready-to-lint state."""
+    skipped, pragmas = _extract_pragmas(source)
+    if skipped:
+        return _FileState(context=None, skipped=True)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as error:
+        return _FileState(
+            context=None,
+            parse_error=Violation(
+                path,
+                error.lineno or 1,
+                (error.offset or 1) - 1,
+                "syntax-error",
+                f"file does not parse: {error.msg}",
+            ),
+        )
+    return _FileState(
+        context=FileContext(path=path, tree=tree, source=source),
+        pragmas=pragmas,
+    )
+
+
+def _run_rules(
+    state: _FileState,
+    rules: Sequence[Rule],
+    project: ProjectContext,
+) -> List[Violation]:
+    """Run ``rules`` over one prepared file, honoring its pragmas."""
+    assert state.context is not None
+    violations: List[Violation] = []
+    for rule in rules:
+        for violation in rule.run(state.context, project):
+            pragma = state.pragmas.get(violation.line)
+            if pragma is not None and (
+                pragma.names is None or violation.rule in pragma.names
+            ):
+                pragma.used = True
+                continue
+            violations.append(violation)
+    return violations
+
+
+def _unused_suppressions(
+    state: _FileState, rules: Sequence[Rule]
+) -> List[Violation]:
+    """Stale-pragma violations for one file (after every rule has run).
+
+    A pragma is judged only when this run could have used it: a named
+    pragma needs all its listed rules selected, a bare pragma needs the
+    full default rule set (otherwise "unused" just means "not checked").
+    """
+    assert state.context is not None
+    run_names = {rule.name for rule in rules}
+    default_names = {rule.name for rule in ALL_RULES}
+    violations: List[Violation] = []
+    for pragma in state.pragmas.values():
+        if pragma.used:
+            continue
+        if pragma.names is None:
+            if not default_names <= run_names:
+                continue
+            what = "suppresses all rules"
+        else:
+            if not pragma.names <= run_names:
+                continue
+            what = f"suppresses {', '.join(sorted(pragma.names))}"
+        violations.append(
+            Violation(
+                state.context.path,
+                pragma.lineno,
+                pragma.col,
+                "unused-suppression",
+                f"pragma {what} but nothing on this line violates them; "
+                "remove the stale suppression",
+            )
+        )
+    return violations
 
 
 def lint_source(
     source: str,
     path: str = "<string>",
     rules: Optional[Sequence[Rule]] = None,
+    warn_unused_suppressions: bool = False,
 ) -> List[Violation]:
     """Lint one source string; returns violations sorted by position."""
-    if _file_skipped(source):
+    active = list(rules) if rules is not None else list(ALL_RULES)
+    state = _prepare(source, path)
+    if state.skipped:
         return []
-    try:
-        tree = ast.parse(source, filename=path)
-    except SyntaxError as error:
-        return [
-            Violation(
-                path,
-                error.lineno or 1,
-                (error.offset or 1) - 1,
-                "syntax-error",
-                f"file does not parse: {error.msg}",
-            )
-        ]
-    context = FileContext(path=path, tree=tree, source=source)
-    suppressions = _line_suppressions(source)
-    violations: List[Violation] = []
-    for rule in rules if rules is not None else ALL_RULES:
-        for violation in rule.check(context):
-            suppressed = suppressions.get(violation.line)
-            if violation.line in suppressions and (
-                suppressed is None or violation.rule in suppressed
-            ):
-                continue
-            violations.append(violation)
+    if state.parse_error is not None:
+        return [state.parse_error]
+    assert state.context is not None
+    project = ProjectContext([state.context])
+    violations = _run_rules(state, active, project)
+    if warn_unused_suppressions:
+        violations.extend(_unused_suppressions(state, active))
     violations.sort(key=lambda v: (v.line, v.col, v.rule))
     return violations
 
@@ -97,12 +233,18 @@ def lint_file(
     path: str,
     rules: Optional[Sequence[Rule]] = None,
     display_path: Optional[str] = None,
+    warn_unused_suppressions: bool = False,
 ) -> List[Violation]:
-    """Lint one file on disk."""
+    """Lint one file on disk (as its own single-file project)."""
     with open(path, "r", encoding="utf-8") as handle:
         source = handle.read()
     shown = display_path if display_path is not None else path
-    return lint_source(source, path=shown.replace(os.sep, "/"), rules=rules)
+    return lint_source(
+        source,
+        path=shown.replace(os.sep, "/"),
+        rules=rules,
+        warn_unused_suppressions=warn_unused_suppressions,
+    )
 
 
 def iter_python_files(paths: Iterable[str]) -> Iterator[str]:
@@ -122,10 +264,31 @@ def iter_python_files(paths: Iterable[str]) -> Iterator[str]:
 def lint_paths(
     paths: Iterable[str],
     rules: Optional[Sequence[Rule]] = None,
+    warn_unused_suppressions: bool = False,
 ) -> List[Violation]:
-    """Lint every Python file under ``paths``; sorted, deterministic."""
+    """Lint every Python file under ``paths``; sorted, deterministic.
+
+    All files are parsed up front so project-scoped rules (the atomicity
+    call graph) see the whole run at once; per-file rules reuse the very
+    same parsed contexts — one parse per file total.
+    """
+    active = list(rules) if rules is not None else list(ALL_RULES)
     violations: List[Violation] = []
+    states: List[_FileState] = []
     for filepath in iter_python_files(paths):
-        violations.extend(lint_file(filepath, rules=rules))
+        with open(filepath, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        state = _prepare(source, filepath.replace(os.sep, "/"))
+        if state.parse_error is not None:
+            violations.append(state.parse_error)
+        elif not state.skipped:
+            states.append(state)
+    project = ProjectContext(
+        [state.context for state in states if state.context is not None]
+    )
+    for state in states:
+        violations.extend(_run_rules(state, active, project))
+        if warn_unused_suppressions:
+            violations.extend(_unused_suppressions(state, active))
     violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
     return violations

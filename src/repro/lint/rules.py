@@ -14,57 +14,13 @@ inputs always replay identical runs.
 from __future__ import annotations
 
 import ast
-from dataclasses import dataclass
-from typing import Callable, Dict, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.atomicity import ATOMICITY_RULES
+from repro.lint.base import FileContext, Rule, Violation
+from repro.lint.schema import SCHEMA_RULES
 
 __all__ = ["Violation", "FileContext", "Rule", "ALL_RULES", "rule_names"]
-
-
-@dataclass(frozen=True)
-class Violation:
-    """One rule violation at a source position."""
-
-    path: str
-    line: int
-    col: int
-    rule: str
-    message: str
-
-    def format(self) -> str:
-        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
-
-
-@dataclass(frozen=True)
-class FileContext:
-    """Everything a rule may look at for one file."""
-
-    path: str
-    tree: ast.Module
-    source: str
-
-    @property
-    def is_sim_code(self) -> bool:
-        """True for files under the simulator package itself.
-
-        ``repro/sim`` owns the clock and the seeded RNG streams, so the
-        wall-clock and RNG-construction bans do not apply inside it.
-        """
-        normalized = self.path.replace("\\", "/")
-        return "repro/sim/" in normalized or normalized.startswith("sim/")
-
-
-class Rule:
-    """A named lint rule."""
-
-    def __init__(
-        self,
-        name: str,
-        description: str,
-        check: Callable[[FileContext], Iterator[Violation]],
-    ) -> None:
-        self.name = name
-        self.description = description
-        self.check = check
 
 
 # ----------------------------------------------------------------------
@@ -149,7 +105,7 @@ _WALL_CLOCK_FROM_IMPORTS = {
 def check_no_wall_clock(context: FileContext) -> Iterator[Violation]:
     if context.is_sim_code:
         return
-    for node in ast.walk(context.tree):
+    for node in context.nodes:
         if isinstance(node, ast.ImportFrom) and node.module in _WALL_CLOCK_FROM_IMPORTS:
             banned = _WALL_CLOCK_FROM_IMPORTS[node.module]
             for alias in node.names:
@@ -208,7 +164,7 @@ _RNG_FIX_HINT = (
 
 
 def check_no_global_random(context: FileContext) -> Iterator[Violation]:
-    for node in ast.walk(context.tree):
+    for node in context.nodes:
         if isinstance(node, ast.Import):
             for alias in node.names:
                 if alias.name == "random" or alias.name.startswith("random."):
@@ -293,7 +249,7 @@ def _is_float_literal(node: ast.AST) -> bool:
 
 
 def check_no_float_eq(context: FileContext) -> Iterator[Violation]:
-    for node in ast.walk(context.tree):
+    for node in context.nodes:
         if not isinstance(node, ast.Compare):
             continue
         operands = [node.left] + list(node.comparators)
@@ -339,7 +295,7 @@ def _unit_tokens(identifier: str) -> Tuple[Set[str], Set[str]]:
 
 
 def check_units_discipline(context: FileContext) -> Iterator[Violation]:
-    for node in _function_defs(context.tree):
+    for node in context.function_defs:
         assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
         args = node.args
         identifiers = [node.name] + [
@@ -399,7 +355,7 @@ def _is_mutable_default(node: ast.AST) -> bool:
 
 
 def check_no_mutable_default(context: FileContext) -> Iterator[Violation]:
-    for node in _function_defs(context.tree):
+    for node in context.function_defs:
         assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
         defaults = list(node.args.defaults) + [
             d for d in node.args.kw_defaults if d is not None
@@ -465,7 +421,7 @@ def _definitely_not_event(value: Optional[ast.AST]) -> bool:
 
 
 def check_sim_yield_only(context: FileContext) -> Iterator[Violation]:
-    for node in _function_defs(context.tree):
+    for node in context.function_defs:
         assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
         yields = [
             child
@@ -530,7 +486,7 @@ ALL_RULES: Sequence[Rule] = (
         "Simulator processes may only yield Event/Process waitables.",
         check_sim_yield_only,
     ),
-)
+) + tuple(ATOMICITY_RULES) + tuple(SCHEMA_RULES)
 
 _RULES_BY_NAME: Dict[str, Rule] = {rule.name: rule for rule in ALL_RULES}
 

@@ -16,6 +16,13 @@ rate of ``1.0`` op per time unit equals one MOPS (million operations per
 second).
 """
 
+from repro.sim.atomic import (
+    atomic_section,
+    atomic_guard_enabled,
+    current_atomic_section,
+    enable_atomic_guard,
+    is_atomic_section,
+)
 from repro.sim.core import (
     AllOf,
     AnyOf,
@@ -46,6 +53,11 @@ __all__ = [
     "TraceEvent",
     "Tracer",
     "UtilizationMeter",
+    "atomic_guard_enabled",
+    "atomic_section",
+    "current_atomic_section",
+    "enable_atomic_guard",
+    "is_atomic_section",
     "seeded_rng",
     "stable_hash",
 ]

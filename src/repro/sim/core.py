@@ -20,6 +20,8 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple, Union
 
+from repro.sim.atomic import _ATOMIC_STACK
+
 __all__ = [
     "SimulationError",
     "Simulator",
@@ -252,6 +254,15 @@ class Process:
             self._step(event._value, None)
 
     def _step(self, value: Any, exc: Optional[BaseException]) -> None:
+        if _ATOMIC_STACK:
+            # Only populated while repro.sim.atomic's guard is enabled: a
+            # process advancing here means an atomic section re-entered
+            # the engine (nested run(), direct step) — sim time would
+            # pass inside a region that promised none does.
+            raise SimulationError(
+                f"process {self.name!r} stepped inside atomic section "
+                f"{_ATOMIC_STACK[-1]!r}"
+            )
         try:
             if exc is not None:
                 target = self._gen.throw(exc)

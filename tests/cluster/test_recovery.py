@@ -491,3 +491,65 @@ class TestPlantedBug:
         assert plan.recoveries[0].active  # still mid-transfer
         assert not checker.ok
         assert any("below its watermark" in v for v in checker.violations)
+
+
+class TestListenerHygiene:
+    """Coordinators detach from membership on every recovery exit path.
+
+    The recovery coordinator subscribes a status listener for its
+    lifetime; a leak here is invisible to the happy-path tests (a stale
+    listener on a finished recovery mostly no-ops) but each leaked
+    subscription is a latent callback into dead state.  The atomicity
+    analyzer pins the listener bodies (``_on_status_change``) as
+    declared-atomic; this test pins the attach/detach accounting.
+    """
+
+    def test_handoff_path_detaches(self, cluster_invariants):
+        sim, cluster, _, service = make_service(cluster_invariants)
+        writer_clients(sim, cluster, service)
+        baseline = len(service.membership._listeners)
+        plan = FaultPlan.kill_then_repair("shard1", 400.0, 800.0)
+        plan.arm(sim, service, recovery_config=RecoveryConfig(pace_us=50.0))
+        sim.run(until=900.0)  # mid-transfer: the listener is attached
+        recovery = plan.recoveries[0]
+        assert recovery.active
+        assert len(service.membership._listeners) == baseline + 1
+        sim.run(until=2500.0)
+        assert not recovery.active and not recovery.aborted
+        assert len(service.membership._listeners) == baseline
+
+    def test_abort_path_detaches(self, cluster_invariants):
+        sim, cluster, _, service = make_service(cluster_invariants)
+        writer_clients(sim, cluster, service)
+        baseline = len(service.membership._listeners)
+        plan = FaultPlan(
+            [
+                Fault(400.0, "kill", "shard1"),
+                Fault(800.0, "repair", "shard1"),
+                Fault(900.0, "kill", "shard1"),
+            ]
+        )
+        plan.arm(sim, service, recovery_config=RecoveryConfig(pace_us=150.0))
+        sim.run(until=2000.0)
+        recovery = plan.recoveries[0]
+        assert recovery.aborted and not recovery.active
+        assert len(service.membership._listeners) == baseline
+
+    def test_repeated_cycles_do_not_accumulate(self, cluster_invariants):
+        sim, cluster, _, service = make_service(cluster_invariants)
+        writer_clients(sim, cluster, service)
+        baseline = len(service.membership._listeners)
+        plan = FaultPlan(
+            [
+                Fault(400.0, "kill", "shard1"),
+                Fault(800.0, "repair", "shard1"),
+                Fault(2400.0, "kill", "shard1"),
+                Fault(2800.0, "repair", "shard1"),
+            ]
+        )
+        plan.arm(sim, service, recovery_config=RecoveryConfig(batch_keys=8))
+        sim.run(until=4500.0)
+        assert len(plan.recoveries) == 2
+        for recovery in plan.recoveries:
+            assert not recovery.active and not recovery.aborted
+        assert len(service.membership._listeners) == baseline

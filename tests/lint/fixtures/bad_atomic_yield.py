@@ -1,0 +1,32 @@
+"""Lint fixture: yields smuggled into declared-atomic call paths."""
+
+from repro.sim import atomic_section
+
+
+def wait_for_ack(sim):
+    yield sim.timeout(1.0)
+
+
+def log_outcome(result):
+    return result
+
+
+class Surgeon:
+    @atomic_section
+    def direct(self, sim):
+        yield sim.timeout(1.0)
+
+    @atomic_section
+    def transitive(self, sim):
+        ack = self._confirm(sim)
+        return log_outcome(ack)
+
+    def _confirm(self, sim):
+        return wait_for_ack(sim)
+
+    def comment_contract(self, sim):  # sim: atomic
+        return wait_for_ack(sim)
+
+    @atomic_section
+    def clean(self, result):
+        return log_outcome(result)

@@ -1,0 +1,21 @@
+"""Lint fixture: stale cross-yield read-modify-write on shared state."""
+
+
+class Coordinator:
+    def stale_writeback(self, sim):
+        ring = self.ring
+        yield sim.timeout(1.0)
+        self.ring = ring + ["rejoiner"]
+
+    def revalidated(self, sim):
+        size = len(self.pending)
+        yield sim.timeout(1.0)
+        if self.pending:
+            self.pending = self.pending[1:]
+        return size
+
+    def augmented(self, sim, moved):
+        budget = self.moved
+        yield sim.timeout(1.0)
+        self.moved += moved
+        return budget

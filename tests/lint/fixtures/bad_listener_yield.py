@@ -1,0 +1,18 @@
+"""Lint fixture: generator functions registered as status listeners."""
+
+
+def on_change(node, status):
+    yield node
+
+
+class Watcher:
+    def __init__(self, membership):
+        membership.subscribe(self._watch)
+        membership.subscribe(on_change)
+        membership.subscribe(self._note)
+
+    def _watch(self, node, status):
+        yield status
+
+    def _note(self, node, status):
+        self.last = (node, status)

@@ -1,0 +1,11 @@
+"""Lint fixture: one earned suppression, one stale one."""
+
+import time
+
+
+def stamp():
+    return time.time()  # lint: disable=no-wall-clock -- CLI boundary
+
+
+def compute():
+    return 42  # lint: disable=no-wall-clock

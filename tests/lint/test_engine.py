@@ -4,8 +4,11 @@ import os
 import subprocess
 import sys
 
-from repro.lint import lint_paths, lint_source
+import json
+
+from repro.lint import lint_file, lint_paths, lint_source
 from repro.lint.engine import iter_python_files
+from repro.lint.rules import ALL_RULES
 
 HERE = os.path.dirname(os.path.abspath(__file__))
 FIXTURES = os.path.join(HERE, "fixtures")
@@ -52,6 +55,68 @@ class TestPragmas:
     def test_skip_file_after_line_five_does_not_count(self):
         source = "\n\n\n\n\n# lint: skip-file\n" + BAD_CALL
         assert len(lint_source(source)) == 1
+
+    def test_reason_trailer_is_not_part_of_the_rule_name(self):
+        # The documented ``disable=rule -- reason`` form: the trailer
+        # must not be swallowed into the rule list.
+        source = BAD_CALL.replace(
+            "time.time()",
+            "time.time()  # lint: disable=no-wall-clock -- CLI boundary",
+        )
+        assert lint_source(source) == []
+
+    def test_pragma_text_inside_a_string_does_not_suppress(self):
+        source = (
+            "import time\n"
+            "\n"
+            "STAMP = time.time(); NOTE = '# lint: disable=no-wall-clock'\n"
+        )
+        (violation,) = lint_source(source)
+        assert violation.rule == "no-wall-clock"
+
+    def test_skip_file_inside_a_docstring_does_not_skip(self):
+        source = '"""# lint: skip-file"""\n' + BAD_CALL
+        assert len(lint_source(source)) == 1
+
+
+class TestUnusedSuppressions:
+    def test_fixture_stale_pragma_is_reported_only_with_the_flag(self):
+        path = os.path.join(FIXTURES, "bad_unused_pragma.py")
+        assert lint_file(path) == []
+        (violation,) = lint_file(path, warn_unused_suppressions=True)
+        assert violation.rule == "unused-suppression"
+        assert violation.line == 11
+
+    def test_earned_pragma_with_reason_trailer_is_not_stale(self):
+        path = os.path.join(FIXTURES, "bad_unused_pragma.py")
+        violations = lint_file(path, warn_unused_suppressions=True)
+        assert [v.line for v in violations] == [11]  # line 7 earned its keep
+
+    def test_named_pragma_judged_only_when_its_rules_ran(self):
+        source = "X = 42  # lint: disable=no-wall-clock\n"
+        subset = [r for r in ALL_RULES if r.name == "no-mutable-default"]
+        assert (
+            lint_source(source, rules=subset, warn_unused_suppressions=True)
+            == []
+        )
+        (violation,) = lint_source(source, warn_unused_suppressions=True)
+        assert violation.rule == "unused-suppression"
+
+    def test_bare_pragma_judged_only_on_the_full_rule_set(self):
+        source = "X = 42  # lint: disable\n"
+        subset = [r for r in ALL_RULES if r.name == "no-wall-clock"]
+        assert (
+            lint_source(source, rules=subset, warn_unused_suppressions=True)
+            == []
+        )
+        (violation,) = lint_source(source, warn_unused_suppressions=True)
+        assert "suppresses all rules" in violation.message
+
+    def test_pragma_text_in_a_docstring_is_never_stale(self):
+        # Tokenize-based extraction: docstring text is not a pragma, so
+        # it neither suppresses nor shows up as an unused suppression.
+        source = '"""Example: # lint: disable=no-wall-clock"""\nX = 42\n'
+        assert lint_source(source, warn_unused_suppressions=True) == []
 
 
 class TestEngineEdges:
@@ -127,3 +192,27 @@ class TestCli:
             "--select", "no-mutable-default", os.path.join(FIXTURES, "bad_units.py")
         )
         assert result.returncode == 0, result.stdout + result.stderr
+
+    def test_json_output_is_machine_readable(self):
+        result = self.run_cli("--json", os.path.join(FIXTURES, "bad_units.py"))
+        assert result.returncode == 1
+        records = json.loads(result.stdout)
+        assert records and all(
+            set(record) >= {"path", "line", "col", "rule", "message"}
+            for record in records
+        )
+        assert any(r["rule"] == "units-discipline" for r in records)
+
+    def test_json_clean_run_is_an_empty_array(self):
+        result = self.run_cli(
+            "--json", os.path.join(FIXTURES, "clean_example.py")
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert json.loads(result.stdout) == []
+
+    def test_warn_unused_suppressions_flag(self):
+        path = os.path.join(FIXTURES, "bad_unused_pragma.py")
+        assert self.run_cli(path).returncode == 0
+        result = self.run_cli("--warn-unused-suppressions", path)
+        assert result.returncode == 1
+        assert "unused-suppression" in result.stdout

@@ -1,0 +1,147 @@
+"""Runtime half of the atomic-section contract (`repro.sim.atomic`)."""
+
+import pytest
+
+from repro.sim import (
+    SimulationError,
+    Simulator,
+    atomic_guard_enabled,
+    atomic_section,
+    current_atomic_section,
+    enable_atomic_guard,
+    is_atomic_section,
+)
+
+
+@pytest.fixture
+def guard():
+    """Enable the runtime guard for one test, always restoring it."""
+    enable_atomic_guard(True)
+    yield
+    enable_atomic_guard(False)
+
+
+class TestDecorator:
+    def test_marks_the_wrapper(self):
+        @atomic_section
+        def surgery():
+            return 42
+
+        assert is_atomic_section(surgery)
+        assert surgery() == 42
+
+    def test_plain_function_is_not_marked(self):
+        def f():
+            return 1
+
+        assert not is_atomic_section(f)
+
+    def test_generator_function_raises_at_decoration(self):
+        with pytest.raises(SimulationError, match="generator function"):
+
+            @atomic_section
+            def bad(sim):
+                yield sim.timeout(1.0)
+
+    def test_bound_method_identity_survives_for_unsubscribe(self):
+        # Membership.unsubscribe relies on list.remove over bound
+        # methods: two bound-method objects of the same wrapper must
+        # compare equal, or detach would silently leak the listener.
+        class Listener:
+            @atomic_section
+            def on_change(self, node, status):
+                return None
+
+        listener = Listener()
+        registry = [listener.on_change]
+        registry.remove(listener.on_change)
+        assert registry == []
+
+
+class TestGuard:
+    def test_flag_roundtrip(self):
+        assert not atomic_guard_enabled()
+        enable_atomic_guard(True)
+        try:
+            assert atomic_guard_enabled()
+        finally:
+            enable_atomic_guard(False)
+        assert not atomic_guard_enabled()
+
+    def test_stack_tracks_sections_only_while_enabled(self, guard):
+        seen = []
+
+        @atomic_section
+        def surgery():
+            seen.append(current_atomic_section())
+
+        surgery()
+        assert len(seen) == 1 and seen[0].endswith("surgery")
+        assert current_atomic_section() == ""
+
+    def test_disabled_guard_pushes_nothing(self):
+        @atomic_section
+        def surgery():
+            return current_atomic_section()
+
+        assert surgery() == ""
+
+    def test_returned_generator_is_rejected(self, guard):
+        def sneaky_gen():
+            yield None
+
+        @atomic_section
+        def launders():
+            return sneaky_gen()
+
+        with pytest.raises(SimulationError, match="returned a generator"):
+            launders()
+
+    def test_returned_generator_allowed_with_guard_off(self):
+        # Off by default: hot paths pay only a flag check, no inspection.
+        def sneaky_gen():
+            yield None
+
+        @atomic_section
+        def launders():
+            return sneaky_gen()
+
+        assert launders() is not None
+
+    def test_stack_unwinds_after_an_exception(self, guard):
+        @atomic_section
+        def explodes():
+            raise ValueError("boom")
+
+        with pytest.raises(ValueError):
+            explodes()
+        assert current_atomic_section() == ""
+
+    def test_process_step_inside_atomic_section_refused(self, guard):
+        # A re-entrant sim.run() from inside an atomic region would pass
+        # simulated time mid-surgery; the engine must refuse to step.
+        sim = Simulator()
+
+        def proc():
+            yield sim.timeout(1.0)
+
+        sim.process(proc(), name="proc")
+
+        @atomic_section
+        def sneaky():
+            sim.run(until=10.0)
+
+        with pytest.raises(SimulationError, match="stepped inside atomic section"):
+            sneaky()
+
+    def test_process_step_allowed_outside_sections(self, guard):
+        sim = Simulator()
+        done = []
+
+        def proc():
+            yield sim.timeout(1.0)
+            done.append(sim.now)
+
+        sim.process(proc(), name="proc")
+        sim.run(until=10.0)
+        assert done == [1.0]

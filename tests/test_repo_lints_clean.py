@@ -1,24 +1,40 @@
 """Tier-1 gate: the shipped tree must be lint-clean.
 
-Runs the determinism lint in-process (no subprocess) over ``src`` and
+Runs the full analyzer stack in-process (no subprocess) over ``src`` and
 ``benchmarks`` so a violating commit fails the plain test suite, not
-just an optional CI step.
+just an optional CI step: the six determinism rules, the atomicity call
+graph, the trace-phase schema rule, stale-pragma detection, and the
+registry/checker coverage check.
 """
 
+import ast
 import os
 
 from repro.lint import lint_paths
+from repro.lint.base import FileContext
+from repro.lint.callgraph import ProjectIndex
 from repro.lint.engine import iter_python_files
+from repro.lint.schema import (
+    TRACE_SCHEMA,
+    check_registry_coverage,
+    collect_record_call_sites,
+)
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 
-def test_src_and_benchmarks_are_lint_clean():
+def shipped_targets():
     targets = [os.path.join(REPO_ROOT, "src")]
     benchmarks = os.path.join(REPO_ROOT, "benchmarks")
     if os.path.isdir(benchmarks):
         targets.append(benchmarks)
-    violations = lint_paths(targets)
+    return targets
+
+
+def test_src_and_benchmarks_are_lint_clean():
+    # warn_unused_suppressions makes stale pragmas a gate failure too:
+    # an exception whose reason is gone must be deleted, not inherited.
+    violations = lint_paths(shipped_targets(), warn_unused_suppressions=True)
     assert violations == [], "determinism lint found violations:\n" + "\n".join(
         v.format() for v in violations
     )
@@ -42,3 +58,63 @@ def test_cluster_package_is_covered_by_discovery():
     # pin them by name rather than trusting the directory listing alone.
     for name in ("recovery.py", "faults.py"):
         assert os.path.join(cluster_dir, name) in discovered, name
+
+
+def test_trace_registry_and_checkers_are_consistent():
+    """Every checker-handled phase is declared; every declared, checked
+    phase is handled.  This is the registry/checker half of the schema
+    gate — the call-site half runs inside the lint pass above."""
+    assert check_registry_coverage() == []
+
+
+def test_every_record_call_site_is_declared():
+    """AST-walk the shipped tree: each literal ``tracer.record`` site
+    names a registered category and phase.  Guards against a new trace
+    phase landing without a registry entry (the lint would catch it too,
+    but this assertion fails with the site list, not a lint report)."""
+    sites = collect_record_call_sites(shipped_targets())
+    assert len(sites) >= 15, "discovery collapsed — record sites missing"
+    for path, lineno, category, label in sites:
+        if category is None:
+            continue
+        assert category in TRACE_SCHEMA, f"{path}:{lineno}: {category!r}"
+        if label is not None:
+            assert label in TRACE_SCHEMA[category], f"{path}:{lineno}: {label!r}"
+
+
+def test_cluster_atomic_regions_are_declared_and_proven():
+    """The ring-surgery/handoff regions carry the atomic contract both
+    ways: the runtime marker is on the bound callables, and the static
+    call graph proves no transitive yield path out of any of them."""
+    from repro.cluster import FailoverCoordinator, Membership, RfpCluster
+    from repro.cluster.recovery import RecoveryCoordinator
+    from repro.sim import is_atomic_section
+
+    expected = [
+        FailoverCoordinator._on_status_change,
+        FailoverCoordinator.reinstate,
+        Membership._transition,
+        Membership.promote,
+        RecoveryCoordinator._finish_aborted,
+        RecoveryCoordinator._handoff,
+        RecoveryCoordinator._on_status_change,
+        RecoveryCoordinator._replan,
+        RecoveryCoordinator.note_write,
+        RfpCluster.kill,
+        RfpCluster.note_put,
+    ]
+    for fn in expected:
+        assert is_atomic_section(fn), fn.__qualname__
+
+    contexts = []
+    for path in iter_python_files([os.path.join(REPO_ROOT, "src")]):
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+        contexts.append(FileContext(path=path, tree=ast.parse(text), source=text))
+    index = ProjectIndex.build(contexts)
+    declared = {info.qualname for info in index.functions if info.atomic_declared}
+    assert {fn.__qualname__ for fn in expected} <= declared
+    for info in index.functions:
+        if info.atomic_declared:
+            assert not info.is_generator, info.qualname
+            assert index.yield_path(info) is None, info.qualname
