@@ -28,14 +28,14 @@ __all__ = [
 
 def _sync_read_loop(sim, endpoint, local, remote, size, meter, post_cpu):
     while True:
-        yield sim.timeout(post_cpu)
+        yield post_cpu
         yield endpoint.post_read(local, 0, remote, 0, size)
         meter.record(sim.now)
 
 
 def _sync_write_loop(sim, endpoint, local, remote, size, meter, post_cpu):
     while True:
-        yield sim.timeout(post_cpu)
+        yield post_cpu
         yield endpoint.post_write(local, 0, remote, 0, size)
         meter.record(sim.now)
 
@@ -45,10 +45,18 @@ def measure_inbound_iops(
     size: int = 32,
     window_us: float = 3000.0,
     cluster_spec: ClusterSpec = CLUSTER_EUROSYS17,
-) -> float:
+    *,
+    reference: bool = False,
+    return_dispatched: bool = False,
+):
     """Aggregate MOPS the server NIC serves when ``client_threads``
-    (spread over 7 machines) issue synchronous RDMA Reads at it."""
-    sim = Simulator()
+    (spread over 7 machines) issue synchronous RDMA Reads at it.
+
+    ``reference=True`` replays the same run on the retained pre-PR
+    engine and ``return_dispatched=True`` also returns the dispatched
+    event count — both exist for the ``repro.bench speed`` suite.
+    """
+    sim = Simulator(reference=reference)
     cluster = build_cluster(sim, cluster_spec)
     server_region = cluster.server.register_memory(1 << 20)
     warmup = window_us * 0.25
@@ -64,7 +72,10 @@ def measure_inbound_iops(
             _sync_read_loop(sim, endpoint, local, server_region, size, meter, post_cpu)
         )
     sim.run(until=window_us)
-    return meter.mops(elapsed=window_us - warmup)
+    mops = meter.mops(elapsed=window_us - warmup)
+    if return_dispatched:
+        return mops, sim.dispatched
+    return mops
 
 
 def measure_outbound_iops(

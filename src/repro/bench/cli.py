@@ -52,6 +52,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--chart", action="store_true", help="also render terminal bar charts"
     )
+    parser.add_argument(
+        "--json",
+        nargs="?",
+        const="BENCH_sim_speed.json",
+        default=None,
+        metavar="PATH",
+        help="with 'speed': also write the perf-trajectory artifact "
+        "(default BENCH_sim_speed.json in the current directory)",
+    )
     args = parser.parse_args(argv)
 
     if args.list:
@@ -81,6 +90,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.out:
             with open(args.out, "a", encoding="utf-8") as sink:
                 sink.write(section + "\n")
+        return 0
+
+    if args.experiments == ["speed"]:
+        from repro.bench.speed import format_speed_report, run_speed_suite, write_artifact
+
+        results = run_speed_suite()
+        print(format_speed_report(results))
+        if args.json:
+            path = write_artifact(results, args.json)
+            print(f"[wrote {path}]")
         return 0
 
     selected = args.experiments or sorted(EXPERIMENTS)

@@ -41,6 +41,10 @@ class HashRing:
         #: Sorted ``(token, node)`` pairs; ties broken by node name so the
         #: ring order is a pure function of its membership.
         self._tokens: List[Tuple[int, str]] = []
+        # Placement is a pure function of membership, so lookups memoize
+        # per (key, count) until the membership changes.  Routers resolve
+        # the same small key population on every op.
+        self._lookup_cache: Dict[Tuple[bytes, int], List[str]] = {}
         for node in nodes:
             self.add_node(node)
 
@@ -61,6 +65,7 @@ class HashRing:
         if node in self._nodes:
             raise ClusterError(f"node {node!r} is already on the ring")
         self._nodes.add(node)
+        self._lookup_cache.clear()
         for token in self._node_tokens(node):
             insort(self._tokens, (token, node))
 
@@ -69,6 +74,7 @@ class HashRing:
         if node not in self._nodes:
             raise ClusterError(f"node {node!r} is not on the ring")
         self._nodes.remove(node)
+        self._lookup_cache.clear()
         self._tokens = [entry for entry in self._tokens if entry[1] != node]
 
     def with_node(self, node: str) -> "HashRing":
@@ -109,11 +115,14 @@ class HashRing:
         ``replicas[0]`` is the primary; the rest are backups in takeover
         order.  ``count`` is clamped to the ring size.
         """
+        cached = self._lookup_cache.get((key, count))
+        if cached is not None:
+            return list(cached)
         if not self._tokens:
             raise ClusterError("lookup on an empty ring")
         if count < 1:
             raise ClusterError(f"replica count must be >= 1, got {count}")
-        count = min(count, len(self._nodes))
+        clamped = min(count, len(self._nodes))
         tokens = self._tokens
         index = bisect_right(tokens, (key_hash(key),))
         replicas: List[str] = []
@@ -121,9 +130,10 @@ class HashRing:
             node = tokens[(index + step) % len(tokens)][1]
             if node not in replicas:
                 replicas.append(node)
-                if len(replicas) == count:
+                if len(replicas) == clamped:
                     break
-        return replicas
+        self._lookup_cache[(key, count)] = replicas
+        return list(replicas)
 
     # ------------------------------------------------------------------
     # Introspection

@@ -45,7 +45,7 @@ from repro.hw.machine import Machine
 from repro.kv.jakiro import Jakiro, JakiroClient
 from repro.kv.store import StoreCostModel, partition_of
 from repro.sim.atomic import atomic_section
-from repro.sim.core import AllOf, AnyOf, Process, Simulator
+from repro.sim.core import AllOf, Event, Process, Simulator
 from repro.sim.resources import Resource
 from repro.sim.trace import Tracer
 
@@ -391,6 +391,8 @@ class ClusterClient:
         #: across shards but strictly in order against any single shard
         #: (one in-flight call per transport is an RFP invariant).
         self._shard_locks: Dict[str, Resource] = {}
+        # Per-op process names, built once instead of per attempt.
+        self._op_names = {"get": f"{self.name}.get", "put": f"{self.name}.put"}
         for index, shard_name in enumerate(sorted(service.shards)):
             handle = service.shards[shard_name]
             self._clients[shard_name] = handle.jakiro.connect(
@@ -580,10 +582,36 @@ class ClusterClient:
             client = self._clients[shard_name]
             body = client.get(key) if op == "get" else client.put(key, value)
             began = sim.now
-            call = sim.process(body, name=f"{self.name}.{op}")
-            which, outcome = yield AnyOf(
-                sim, [call, sim.timeout(service.config.op_timeout_us)]
-            )
+            call = sim.process(body, name=self._op_names[op])
+            # Specialised two-way race (call vs deadline), replacing the
+            # generic ``AnyOf(sim, [call, sim.timeout(...)])``: the
+            # deadline is a bare heap entry rather than a Timeout/Event,
+            # so the common call-wins case skips a dead waiter dispatch
+            # when the deadline expires.  Both engines take the exact
+            # same path, which keeps fast/reference dispatch parity.
+            # Tie order matches AnyOf: the deadline entry carries the
+            # seq of its arming (earlier than any completion cascade at
+            # deadline time), so an exact tie resolves to the timeout —
+            # just as the Timeout's pre-armed fire did.
+            race = Event(sim)
+
+            def _call_done(event: "Event") -> None:
+                if race._done:
+                    if event._exc is not None:
+                        event._defused = True
+                    return
+                if event._exc is not None:
+                    race.fail(event._exc)
+                else:
+                    race.trigger((0, event._value))
+
+            def _deadline_fired() -> None:
+                if not race._done:
+                    race.trigger((1, None))
+
+            call.done.wait(_call_done)
+            sim.schedule(service.config.op_timeout_us, _deadline_fired)
+            which, outcome = yield race
             if which == 0:
                 service.metrics.record_op(
                     shard_name, op, sim.now - began, rerouted=rerouted

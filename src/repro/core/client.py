@@ -32,8 +32,8 @@ from repro.core.fetch import plan_fetch
 from repro.core.headers import (
     REQUEST_HEADER_BYTES,
     RESPONSE_HEADER_BYTES,
-    RequestHeader,
-    ResponseHeader,
+    pack_request,
+    unpack_response,
 )
 from repro.core.mode import Mode, SwitchPolicy
 from repro.core.sampling import ResultSampler
@@ -181,10 +181,9 @@ class RfpClient:
         self._call_started_at = sim.now
         self.seq += 1
         parity = self.seq & 1
-        header = RequestHeader(status=parity, size=len(payload))
-        self._request_staging.write_local(0, header.pack())
+        self._request_staging.write_local(0, pack_request(parity, len(payload)))
         self._request_staging.write_local(REQUEST_HEADER_BYTES, payload)
-        yield sim.timeout(config.client_post_cpu_us)
+        yield config.client_post_cpu_us
         channel = self.channel
         completion = self.endpoint.post_write(
             self._request_staging,
@@ -204,7 +203,8 @@ class RfpClient:
                 "concurrent client_send interleaved on one channel"
             )
         self._inflight_parity = parity
-        self._trace("request_sent", seq=self.seq, bytes=len(payload))
+        if self.tracer is not None:
+            self._trace("request_sent", seq=self.seq, bytes=len(payload))
 
     def client_recv(self) -> Generator:
         """Table 2 ``client_recv``: obtain the response for the last send.
@@ -235,12 +235,13 @@ class RfpClient:
             )
         self.stats.calls.increment()
         self.stats.latency_us.record(sim.now - self._call_started_at)
-        self._trace(
-            "call_done",
-            seq=self.seq,
-            latency_us=round(sim.now - self._call_started_at, 3),
-            mode=self.policy.mode.name,
-        )
+        if self.tracer is not None:
+            self._trace(
+                "call_done",
+                seq=self.seq,
+                latency_us=round(sim.now - self._call_started_at, 3),
+                mode=self.policy.mode.name,
+            )
         # Re-check after the yields: only the call that owns the
         # in-flight parity may clear it (a concurrent recv interleaved
         # at the reply wait would otherwise clear someone else's).
@@ -270,26 +271,30 @@ class RfpClient:
         failed = 0
         slow_noted = False
         while True:
-            yield sim.timeout(config.client_post_cpu_us)
-            self._trace(
-                "fetch_read",
-                seq=self.seq,
-                attempt=failed + 1,
-                bytes=config.fetch_size,
-            )
+            yield config.client_post_cpu_us
+            if self.tracer is not None:
+                self._trace(
+                    "fetch_read",
+                    seq=self.seq,
+                    attempt=failed + 1,
+                    bytes=config.fetch_size,
+                )
             yield self.endpoint.post_read(
                 self._fetch_landing, 0, channel.response_region, 0, config.fetch_size
             )
-            yield sim.timeout(config.client_parse_cpu_us)
+            yield config.client_parse_cpu_us
             self.stats.remote_reads.increment()
-            header = ResponseHeader.unpack(
+            status, size, _ = unpack_response(
                 self._fetch_landing.read_local(0, RESPONSE_HEADER_BYTES)
             )
-            if header.status == parity:
-                response = yield from self._collect_payload(header)
+            if status == parity:
+                response = yield from self._collect_payload(size)
                 if self.result_sampler is not None:
-                    self.result_sampler.observe(header.size)
-                self._trace("fetch_success", seq=self.seq, attempts=failed + 1)
+                    self.result_sampler.observe(size)
+                if self.tracer is not None:
+                    self._trace(
+                        "fetch_success", seq=self.seq, attempts=failed + 1
+                    )
                 self.stats.fetch_attempts.record(failed + 1)
                 if not slow_noted:
                     self.policy.note_fast_call()
@@ -305,14 +310,15 @@ class RfpClient:
                     self.stats.busy.add_busy(sim.now - spin_start)
                     return None
 
-    def _collect_payload(self, header: ResponseHeader) -> Generator:
+    def _collect_payload(self, size: int) -> Generator:
         """Issue the remainder read when the response exceeded F."""
-        plan = plan_fetch(header.size, self.config.fetch_size)
+        plan = plan_fetch(size, self.config.fetch_size)
         if not plan.complete_after_first:
-            yield self.sim.timeout(self.config.client_post_cpu_us)
-            self._trace(
-                "remainder_read", seq=self.seq, bytes=plan.remainder_bytes
-            )
+            yield self.config.client_post_cpu_us
+            if self.tracer is not None:
+                self._trace(
+                    "remainder_read", seq=self.seq, bytes=plan.remainder_bytes
+                )
             yield self.endpoint.post_read(
                 self._fetch_landing,
                 plan.remainder_offset,
@@ -321,7 +327,7 @@ class RfpClient:
                 plan.remainder_bytes,
             )
             self.stats.remote_reads.increment()
-        return self._fetch_landing.read_local(RESPONSE_HEADER_BYTES, header.size)
+        return self._fetch_landing.read_local(RESPONSE_HEADER_BYTES, size)
 
     # ------------------------------------------------------------------
     # Server-reply mode
@@ -335,21 +341,20 @@ class RfpClient:
         self.stats.reply_waits.increment()
         while True:
             yield channel.reply_store.get()
-            yield sim.timeout(config.client_wake_cpu_us)
-            header = ResponseHeader.unpack(
+            yield config.client_wake_cpu_us
+            status, size, time_tenths = unpack_response(
                 self._reply_landing.read_local(0, RESPONSE_HEADER_BYTES)
             )
-            if header.status != parity:
+            if status != parity:
                 # A stale late reply from a previous call: ignore it.
                 continue
-            response = self._reply_landing.read_local(
-                RESPONSE_HEADER_BYTES, header.size
-            )
-            self._trace("reply_received", seq=self.seq, bytes=header.size)
+            response = self._reply_landing.read_local(RESPONSE_HEADER_BYTES, size)
+            if self.tracer is not None:
+                self._trace("reply_received", seq=self.seq, bytes=size)
             if self.result_sampler is not None:
-                self.result_sampler.observe(header.size)
+                self.result_sampler.observe(size)
             if self.policy.mode is Mode.SERVER_REPLY:
-                if self.policy.note_reply_time(header.time_us):
+                if self.policy.note_reply_time(time_tenths / 10.0):
                     self._trace("mode_switch", seq=self.seq, to="REMOTE_FETCH")
                     yield from self._write_mode_flag(Mode.REMOTE_FETCH)
             return response
@@ -362,7 +367,7 @@ class RfpClient:
         """Publish the client's mode with a 1-byte one-sided write."""
         sim = self.sim
         self._flag_staging.write_local(0, bytes([new_mode.value]))
-        yield sim.timeout(self.config.client_post_cpu_us)
+        yield self.config.client_post_cpu_us
         channel = self.channel
         server = self.server
         self._trace("flag_published", seq=self.seq, mode=new_mode.name)

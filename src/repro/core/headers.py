@@ -29,6 +29,10 @@ __all__ = [
     "RESPONSE_HEADER_BYTES",
     "RequestHeader",
     "ResponseHeader",
+    "pack_request",
+    "unpack_request",
+    "pack_response",
+    "unpack_response",
 ]
 
 #: status+size packed into 4 bytes (1 + 31 bits).
@@ -40,6 +44,10 @@ _STATUS_MASK = 0x8000_0000
 _SIZE_MASK = 0x7FFF_FFFF
 _TIME_LIMIT = 0xFFFF
 
+_REQUEST_STRUCT = struct.Struct("<I")
+_RESPONSE_STRUCT = struct.Struct("<IHxx")
+_RESPONSE_PREFIX_STRUCT = struct.Struct("<IH")
+
 
 def _pack_status_size(status: int, size: int) -> int:
     if status not in (0, 1):
@@ -47,6 +55,43 @@ def _pack_status_size(status: int, size: int) -> int:
     if not 0 <= size <= _SIZE_MASK:
         raise ProtocolError(f"size does not fit in 31 bits: {size}")
     return (status << 31) | size
+
+
+# ----------------------------------------------------------------------
+# Allocation-free wire helpers
+#
+# The dataclasses below are the readable API; these functions are the
+# same wire format without a header object per op, for the request/fetch
+# hot paths (hundreds of thousands of headers per bench run).
+# ----------------------------------------------------------------------
+
+
+def pack_request(status: int, size: int) -> bytes:
+    """Wire bytes of a request header (see :class:`RequestHeader`)."""
+    return _REQUEST_STRUCT.pack(_pack_status_size(status, size))
+
+
+def unpack_request(raw: bytes) -> "tuple[int, int]":
+    """``(status, size)`` from request-header bytes."""
+    if len(raw) < REQUEST_HEADER_BYTES:
+        raise ProtocolError(f"short request header: {len(raw)} bytes")
+    word = _REQUEST_STRUCT.unpack_from(raw)[0]
+    return word >> 31, word & _SIZE_MASK
+
+
+def pack_response(status: int, size: int, time_tenths_us: int = 0) -> bytes:
+    """Wire bytes of a response header (see :class:`ResponseHeader`)."""
+    if not 0 <= time_tenths_us <= _TIME_LIMIT:
+        raise ProtocolError(f"time field overflow: {time_tenths_us}")
+    return _RESPONSE_STRUCT.pack(_pack_status_size(status, size), time_tenths_us)
+
+
+def unpack_response(raw: bytes) -> "tuple[int, int, int]":
+    """``(status, size, time_tenths_us)`` from response-header bytes."""
+    if len(raw) < RESPONSE_HEADER_BYTES:
+        raise ProtocolError(f"short response header: {len(raw)} bytes")
+    word, time_tenths = _RESPONSE_PREFIX_STRUCT.unpack_from(raw)
+    return word >> 31, word & _SIZE_MASK, time_tenths
 
 
 @dataclass(frozen=True)
@@ -57,14 +102,12 @@ class RequestHeader:
     size: int
 
     def pack(self) -> bytes:
-        return struct.pack("<I", _pack_status_size(self.status, self.size))
+        return pack_request(self.status, self.size)
 
     @classmethod
     def unpack(cls, raw: bytes) -> "RequestHeader":
-        if len(raw) < REQUEST_HEADER_BYTES:
-            raise ProtocolError(f"short request header: {len(raw)} bytes")
-        word = struct.unpack_from("<I", raw)[0]
-        return cls(status=word >> 31, size=word & _SIZE_MASK)
+        status, size = unpack_request(raw)
+        return cls(status=status, size=size)
 
 
 @dataclass(frozen=True)
@@ -80,18 +123,12 @@ class ResponseHeader:
     time_tenths_us: int = 0
 
     def pack(self) -> bytes:
-        if not 0 <= self.time_tenths_us <= _TIME_LIMIT:
-            raise ProtocolError(f"time field overflow: {self.time_tenths_us}")
-        return struct.pack(
-            "<IHxx", _pack_status_size(self.status, self.size), self.time_tenths_us
-        )
+        return pack_response(self.status, self.size, self.time_tenths_us)
 
     @classmethod
     def unpack(cls, raw: bytes) -> "ResponseHeader":
-        if len(raw) < RESPONSE_HEADER_BYTES:
-            raise ProtocolError(f"short response header: {len(raw)} bytes")
-        word, time_tenths = struct.unpack_from("<IH", raw)
-        return cls(status=word >> 31, size=word & _SIZE_MASK, time_tenths_us=time_tenths)
+        status, size, time_tenths = unpack_response(raw)
+        return cls(status=status, size=size, time_tenths_us=time_tenths)
 
     @classmethod
     def encode_time(cls, response_time_us: float) -> int:

@@ -30,8 +30,9 @@ from repro.core.config import RfpConfig
 from repro.core.headers import (
     REQUEST_HEADER_BYTES,
     RESPONSE_HEADER_BYTES,
-    RequestHeader,
     ResponseHeader,
+    pack_response,
+    unpack_request,
 )
 from repro.core.mode import Mode
 from repro.errors import ProtocolError
@@ -252,25 +253,27 @@ class RfpServer:
     def _thread_body(self, thread_id: int, store: Store):
         sim = self.sim
         config = self.config
+        has_jitter = config.server_sw_jitter_us > 0
         while True:
             channel: ClientChannel = yield store.get()
             if self._halted:
                 return
-            yield sim.timeout(config.server_poll_cpu_us)
-            header = RequestHeader.unpack(
+            yield config.server_poll_cpu_us
+            status, size = unpack_request(
                 channel.request_region.read_local(0, REQUEST_HEADER_BYTES)
             )
-            payload = channel.request_region.read_local(
-                REQUEST_HEADER_BYTES, header.size
-            )
+            payload = channel.request_region.read_local(REQUEST_HEADER_BYTES, size)
             context = RequestContext(client_id=channel.client_id, thread_id=thread_id)
             response, process_us = self.handler(payload, context)
             if process_us > 0:
-                yield sim.timeout(process_us)
-            yield sim.timeout(config.server_sw_us + self._stub_jitter_us())
+                yield process_us
+            if has_jitter:
+                yield config.server_sw_us + self._stub_jitter_us()
+            else:
+                yield config.server_sw_us
             if self._halted:
                 return
-            self._publish_response(channel, header.status, response)
+            self._publish_response(channel, status, response)
             if channel.mode is Mode.SERVER_REPLY:
                 yield from self._send_reply(channel)
 
@@ -292,13 +295,11 @@ class RfpServer:
                 f"response of {len(response)} B exceeds the {limit} B buffer"
             )
         response_time = self.sim.now - channel.request_delivered_at
-        header = ResponseHeader(
-            status=parity,
-            size=len(response),
-            time_tenths_us=ResponseHeader.encode_time(response_time),
+        packed = pack_response(
+            parity, len(response), ResponseHeader.encode_time(response_time)
         )
         channel.response_region.write_local(RESPONSE_HEADER_BYTES, response)
-        channel.response_region.write_local(0, header.pack())
+        channel.response_region.write_local(0, packed)
         channel.state = ClientChannel.DONE
         channel.response_seq = channel.seq_seen
         channel.response_parity = parity
@@ -326,9 +327,7 @@ class RfpServer:
         """
         spec = self.machine.rnic.spec
         total = RESPONSE_HEADER_BYTES + channel.response_size
-        yield self.sim.timeout(
-            spec.post_cpu_us + total * self.config.reply_send_per_byte_us
-        )
+        yield spec.post_cpu_us + total * self.config.reply_send_per_byte_us
         channel.server_endpoint.post_write(
             channel.response_region,
             0,

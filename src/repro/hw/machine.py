@@ -27,6 +27,9 @@ class Machine:
         self.name = name
         self.rnic = RNIC(sim, spec.nic, owner_name=name)
         self._regions: List[MemoryRegion] = []
+        # Running tally for the budget check; summing per registration
+        # turns region-heavy setups (cluster rejoin) quadratic.
+        self._in_use_bytes = 0
 
     @property
     def cores(self) -> int:
@@ -39,13 +42,13 @@ class Machine:
         accept registered regions.
         """
         budget = self.spec.memory_gb * (1 << 30)
-        in_use = sum(r.size for r in self._regions if r.registered)
-        if in_use + size > budget:
+        if self._in_use_bytes + size > budget:
             raise RegistrationError(
                 f"{self.name}: registering {size} B exceeds {self.spec.memory_gb} GB"
             )
         region = MemoryRegion(self, size, name=name)
         self._regions.append(region)
+        self._in_use_bytes += size
         return region
 
     def release_memory(self, region: MemoryRegion) -> None:
@@ -54,6 +57,8 @@ class Machine:
             raise RegistrationError(
                 f"{self.name}: cannot release region owned by {region.machine.name}"
             )
+        if region.registered:
+            self._in_use_bytes -= region.size
         region.deregister()
 
     def registered_bytes(self) -> int:

@@ -69,13 +69,18 @@ class MemoryRegion:
 
     def read_local(self, offset: int, length: int) -> bytes:
         """Host-CPU read of ``length`` bytes (no simulated time charged)."""
-        self._check(offset, length)
+        # The bounds check is inlined (not delegated to _check): these two
+        # accessors run several times per simulated op across every bench.
+        if offset < 0 or length < 0 or offset + length > self.size or not self._registered:
+            self._check(offset, length)
         return bytes(self._data[offset : offset + length])
 
     def write_local(self, offset: int, data: bytes) -> None:
         """Host-CPU write (atomic at the current instant)."""
-        self._check(offset, len(data))
-        self._data[offset : offset + len(data)] = data
+        length = len(data)
+        if offset < 0 or offset + length > self.size or not self._registered:
+            self._check(offset, length)
+        self._data[offset : offset + length] = data
 
     def fill(self, offset: int, length: int, byte: int = 0) -> None:
         """Zero/fill a range (buffer recycling)."""

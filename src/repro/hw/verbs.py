@@ -142,6 +142,10 @@ class Endpoint:
         self.remote = remote
         self._inbox: Store = Store(qp.sim)
         self._peer: Optional["Endpoint"] = None
+        # Single-switch fabric: propagation between a fixed machine pair
+        # never changes, so hoist both directions out of the verb paths.
+        self._forward_us = qp.network.propagation_us(machine.name, remote.name)
+        self._backward_us = qp.network.propagation_us(remote.name, machine.name)
 
     # ------------------------------------------------------------------
     # Checks
@@ -200,17 +204,20 @@ class Endpoint:
 
         sim = self.sim
         read_extra = self.machine.rnic.spec.read_extra_us
-        forward = self.qp.network.propagation_us(self.machine.name, self.remote.name)
-        backward = self.qp.network.propagation_us(self.remote.name, self.machine.name)
+        forward = self._forward_us
+        backward = self._backward_us
         completion = Event(sim)
 
-        def after_issue(_event: Event) -> None:
-            sim.schedule(forward, at_remote)
-
+        # Pipeline occupancy is deterministic, so each stage schedules
+        # the next one directly against its known completion instant —
+        # no intermediate events.  The in-bound submission still happens
+        # *at arrival time* (at_remote): remote queueing depends on the
+        # arrival order of ops from every issuer.
         def at_remote() -> None:
-            self.remote.rnic.submit_inbound(size).wait(after_serve)
+            done_in = self.remote.rnic.occupy_inbound(size)
+            sim.schedule(done_in - sim.now, after_serve)
 
-        def after_serve(_event: Event) -> None:
+        def after_serve() -> None:
             snapshot = remote_mr.read_local(remote_offset, size)
             sim.schedule(backward + read_extra, deliver, snapshot)
 
@@ -218,9 +225,10 @@ class Endpoint:
             local_mr.write_local(local_offset, snapshot)
             completion.trigger(size)
 
-        self.machine.rnic.submit_outbound(READ_REQUEST_WIRE_BYTES, kind="read").wait(
-            after_issue
+        done_out = self.machine.rnic.occupy_outbound(
+            READ_REQUEST_WIRE_BYTES, kind="read"
         )
+        sim.schedule(done_out - sim.now + forward, at_remote)
         return completion
 
     def post_write(
@@ -246,30 +254,36 @@ class Endpoint:
         self._check_regions(local_mr, local_offset, remote_mr, remote_offset, size)
 
         sim = self.sim
-        forward = self.qp.network.propagation_us(self.machine.name, self.remote.name)
-        backward = self.qp.network.propagation_us(self.remote.name, self.machine.name)
+        forward = self._forward_us
+        backward = self._backward_us
         completion = Event(sim)
         payload = local_mr.read_local(local_offset, size)
         reliable = self.qp.qp_type is QPType.RC
 
-        def after_issue(_event: Event) -> None:
-            if not reliable:
-                completion.trigger(size)
-                if self.qp._drops_unreliable_message():
-                    return  # vanished on the wire; the sender never knows
+        def after_issue() -> None:
+            # Unreliable transports complete at issue time and may drop
+            # the message on the wire.
+            completion.trigger(size)
+            if self.qp._drops_unreliable_message():
+                return  # vanished on the wire; the sender never knows
             sim.schedule(forward, at_remote)
 
         def at_remote() -> None:
-            self.remote.rnic.submit_inbound(size).wait(after_serve)
+            done_in = self.remote.rnic.occupy_inbound(size)
+            sim.schedule(done_in - sim.now, after_serve)
 
-        def after_serve(_event: Event) -> None:
+        def after_serve() -> None:
             remote_mr.write_local(remote_offset, payload)
             if on_delivery is not None:
                 on_delivery()
             if reliable:
                 sim.schedule(backward, completion.trigger, size)
 
-        self.machine.rnic.submit_outbound(size).wait(after_issue)
+        done_out = self.machine.rnic.occupy_outbound(size)
+        if reliable:
+            sim.schedule(done_out - sim.now + forward, at_remote)
+        else:
+            sim.schedule(done_out - sim.now, after_issue)
         return completion
 
     # ------------------------------------------------------------------
@@ -328,17 +342,15 @@ class Endpoint:
 
         sim = self.sim
         spec = self.machine.rnic.spec
-        forward = self.qp.network.propagation_us(self.machine.name, self.remote.name)
-        backward = self.qp.network.propagation_us(self.remote.name, self.machine.name)
+        forward = self._forward_us
+        backward = self._backward_us
         completion = Event(sim)
 
-        def after_issue(_event: Event) -> None:
-            sim.schedule(forward, at_remote)
-
         def at_remote() -> None:
-            self.remote.rnic.submit_inbound(8).wait(after_serve)
+            done_in = self.remote.rnic.occupy_inbound(8)
+            sim.schedule(done_in - sim.now, after_serve)
 
-        def after_serve(_event: Event) -> None:
+        def after_serve() -> None:
             original = int.from_bytes(
                 remote_mr.read_local(remote_offset, 8), "little"
             )
@@ -348,9 +360,8 @@ class Endpoint:
             # Atomics keep read-like state in the issuing NIC.
             sim.schedule(backward + spec.read_extra_us, completion.trigger, original)
 
-        self.machine.rnic.submit_outbound(ATOMIC_WIRE_BYTES, kind="read").wait(
-            after_issue
-        )
+        done_out = self.machine.rnic.occupy_outbound(ATOMIC_WIRE_BYTES, kind="read")
+        sim.schedule(done_out - sim.now + forward, at_remote)
         return completion
 
     # ------------------------------------------------------------------
@@ -367,29 +378,35 @@ class Endpoint:
         self._check_open()
         sim = self.sim
         size = len(payload)
-        forward = self.qp.network.propagation_us(self.machine.name, self.remote.name)
-        backward = self.qp.network.propagation_us(self.remote.name, self.machine.name)
+        forward = self._forward_us
+        backward = self._backward_us
         completion = Event(sim)
         reliable = self.qp.qp_type is QPType.RC
         issue_kind = "ud_send" if self.qp.qp_type is QPType.UD else "write"
         peer = self._peer
 
-        def after_issue(_event: Event) -> None:
-            if not reliable:
-                completion.trigger(size)
-                if self.qp._drops_unreliable_message():
-                    return  # vanished on the wire; the sender never knows
+        def after_issue() -> None:
+            # Unreliable transports complete at issue time and may drop
+            # the message on the wire.
+            completion.trigger(size)
+            if self.qp._drops_unreliable_message():
+                return  # vanished on the wire; the sender never knows
             sim.schedule(forward, at_remote)
 
         def at_remote() -> None:
-            self.remote.rnic.submit_inbound(size).wait(after_serve)
+            done_in = self.remote.rnic.occupy_inbound(size)
+            sim.schedule(done_in - sim.now, after_serve)
 
-        def after_serve(_event: Event) -> None:
+        def after_serve() -> None:
             peer._inbox.put(payload)
             if reliable:
                 sim.schedule(backward, completion.trigger, size)
 
-        self.machine.rnic.submit_outbound(size, kind=issue_kind).wait(after_issue)
+        done_out = self.machine.rnic.occupy_outbound(size, kind=issue_kind)
+        if reliable:
+            sim.schedule(done_out - sim.now + forward, at_remote)
+        else:
+            sim.schedule(done_out - sim.now, after_issue)
         return completion
 
     def recv(self) -> Event:

@@ -122,20 +122,29 @@ def _may_pass_sim_time(node: ast.AST) -> bool:
 
     Data generators (``yield key, value``) iterate synchronously — no
     simulated time passes — so yields whose value demonstrably cannot be
-    an Event/Process do not make their function "yielding" for
-    atomicity purposes.  ``yield from`` always counts: the delegate
+    an Event/Process *or a delay* do not make their function "yielding"
+    for atomicity purposes.  ``yield from`` always counts: the delegate
     could be anything.
+
+    A **numeric** yield is the engine's direct-delay dispatch path
+    (``yield 0.5`` suspends for half a microsecond), so numeric
+    constants and arithmetic (``yield base + jitter``) count as passing
+    simulated time — only values that can be neither a waitable nor a
+    number (strings, bools, containers, comparisons) are exempt.
     """
     if isinstance(node, ast.YieldFrom):
         return True
     assert isinstance(node, ast.Yield)
     value = node.value
-    if value is None or isinstance(value, ast.Constant):
+    if value is None:
         return False
+    if isinstance(value, ast.Constant):
+        return type(value.value) is int or type(value.value) is float
     if isinstance(value, (ast.List, ast.Tuple, ast.Dict, ast.Set)):
         return False
-    if isinstance(value, (ast.BinOp, ast.BoolOp, ast.Compare, ast.JoinedStr)):
+    if isinstance(value, (ast.BoolOp, ast.Compare, ast.JoinedStr)):
         return False
+    # BinOp deliberately counts: arithmetic may compute a delay.
     return True
 
 

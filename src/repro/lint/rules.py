@@ -408,14 +408,22 @@ def _yields_event(value: Optional[ast.AST]) -> bool:
 
 
 def _definitely_not_event(value: Optional[ast.AST]) -> bool:
-    """Expressions that cannot possibly evaluate to an Event/Process."""
+    """Expressions that cannot possibly evaluate to a process yield.
+
+    ``yield <number>`` is the engine's direct-delay fast path, so numeric
+    constants and arithmetic (``yield base + jitter``) are legitimate;
+    everything else that is demonstrably not a waitable gets flagged.
+    """
     if value is None:  # bare ``yield`` produces None
         return True
     if isinstance(value, ast.Constant):
-        return True
+        # int/float delays are valid; bool is not a delay.
+        return not (
+            type(value.value) is int or type(value.value) is float
+        )
     if isinstance(value, (ast.List, ast.Tuple, ast.Dict, ast.Set)):
         return True
-    if isinstance(value, (ast.BinOp, ast.BoolOp, ast.Compare, ast.JoinedStr)):
+    if isinstance(value, (ast.BoolOp, ast.Compare, ast.JoinedStr)):
         return True
     return False
 

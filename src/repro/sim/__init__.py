@@ -30,6 +30,7 @@ from repro.sim.core import (
     Process,
     SimulationError,
     Simulator,
+    Timeout,
 )
 from repro.sim.monitor import Counter, Tally, ThroughputMeter, UtilizationMeter
 from repro.sim.random import RandomStreams, seeded_rng, stable_hash
@@ -50,6 +51,7 @@ __all__ = [
     "Store",
     "Tally",
     "ThroughputMeter",
+    "Timeout",
     "TraceEvent",
     "Tracer",
     "UtilizationMeter",

@@ -27,7 +27,9 @@ The contract is enforced twice:
      the engine refuses to advance any :class:`~repro.sim.core.Process`
      while an atomic section is open on the stack — a re-entrant
      ``run()`` or a direct process step from inside an atomic region is
-     a bug, not a scheduling quirk.
+     a bug, not a scheduling quirk.  The check sits in
+     ``Process._step``, which every dispatch path funnels through:
+     time-heap pops and zero-delay ready-deque drains alike.
 
 The guard is off by default; the disabled-path cost is one flag check
 per decorated call and one truthiness check per process step.

@@ -1,16 +1,36 @@
 """Event loop, events, and generator-based processes.
 
-The design follows the classic calendar-queue discrete-event pattern:
+The design follows the classic calendar-queue discrete-event pattern,
+split across two structures for speed:
 
 - The :class:`Simulator` owns a binary heap of ``(time, seq, fn, args)``
-  entries.  ``seq`` is a monotonically increasing tie-breaker, so callbacks
-  scheduled for the same timestamp run in FIFO order and every run is
-  deterministic.
-- An :class:`Event` is a one-shot condition that processes can wait on.  It
-  either *triggers* with a value or *fails* with an exception.
-- A :class:`Process` wraps a generator.  The generator advances by yielding
-  events (or other processes, which waits for their completion) and receives
-  the event's value as the result of the ``yield`` expression.
+  entries for *future* work.  ``seq`` is a monotonically increasing
+  tie-breaker, so callbacks scheduled for the same timestamp run in FIFO
+  order and every run is deterministic.
+- Same-timestamp ("zero-delay") work — event triggers waking their
+  waiters, process start steps, waits on already-completed events — goes
+  to a plain FIFO **ready deque** instead of the heap.  Ready entries
+  carry the same ``seq`` counter, and the run loop merges the two
+  structures by ``(time, seq)``, so the global dispatch order is
+  bit-for-bit identical to a pure-heap engine while the dominant
+  same-timestamp traffic pays two deque operations instead of two
+  ``O(log n)`` heap operations.
+- An :class:`Event` is a one-shot condition that processes can wait on.
+  It either *triggers* with a value or *fails* with an exception.
+- A :class:`Timeout` is the fast path for ``yield sim.timeout(d)`` — by
+  far the most common waitable.  It is an :class:`Event` subclass that
+  skips the callbacks-list machinery: one slotted object, one heap entry
+  armed at creation (so its ``seq`` matches the pure-Event engine), and
+  waiter resumption through the ready deque.
+- A :class:`Process` wraps a generator.  The generator advances by
+  yielding events (or other processes, which waits for their completion)
+  and receives the event's value as the result of the ``yield``
+  expression.
+
+``Simulator(reference=True)`` retains the original single-heap engine
+(zero-delay entries heap-pushed, timeouts built from plain events).  It
+exists so equivalence tests and the ``repro.bench speed`` suite can
+prove the fast paths preserve ordering and measure what they save.
 
 Time is a ``float`` in microseconds by project convention.
 """
@@ -18,7 +38,9 @@ Time is a ``float`` in microseconds by project convention.
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple, Union
+from collections import deque
+from math import inf
+from typing import Any, Callable, Deque, Generator, Iterable, List, Optional, Tuple, Union
 
 from repro.sim.atomic import _ATOMIC_STACK
 
@@ -26,6 +48,7 @@ __all__ = [
     "SimulationError",
     "Simulator",
     "Event",
+    "Timeout",
     "Process",
     "AnyOf",
     "AllOf",
@@ -49,13 +72,32 @@ class Simulator:
     >>> sim.run()
     >>> proc.value
     3.0
+
+    Parameters
+    ----------
+    reference:
+        When true, run the original pure-heap engine: zero-delay work is
+        heap-pushed and :meth:`timeout` builds a plain :class:`Event`.
+        Dispatch order is identical either way (the fast engine merges
+        its ready deque into the heap order by ``(time, seq)``); the
+        reference engine exists as the slow half of equivalence tests
+        and speed benchmarks.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, reference: bool = False) -> None:
         self._now = 0.0
         self._heap: List[Tuple[float, int, Callable[..., Any], Tuple[Any, ...]]] = []
+        #: FIFO of ``(seq, fn, args)`` entries due at the current time.
+        self._ready: Deque[Tuple[int, Callable[..., Any], Tuple[Any, ...]]] = deque()
         self._seq = 0
         self._running = False
+        self.reference = reference
+        self._fast = not reference
+        #: Total callbacks dispatched across all ``run()`` calls.  The
+        #: dispatch sequence is deterministic, so this count is too —
+        #: the speed benchmarks report it and assert it matches between
+        #: the fast and reference engines.
+        self.dispatched = 0
 
     @property
     def now(self) -> float:
@@ -71,10 +113,31 @@ class Simulator:
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
         self._seq += 1
-        heapq.heappush(self._heap, (self._now + delay, self._seq, fn, args))
+        # Exact zero is an identity (same-timestamp work), not a
+        # tolerance question: only literal 0.0 may skip the heap.
+        if delay == 0.0 and self._fast:  # lint: disable=no-float-eq -- exact-zero identity routes to the ready deque
+            self._ready.append((self._seq, fn, args))
+        else:
+            heapq.heappush(self._heap, (self._now + delay, self._seq, fn, args))
+
+    def _schedule_now(self, fn: Callable[..., Any], *args: Any) -> None:
+        """Schedule ``fn(*args)`` at the current timestamp (FIFO).
+
+        This is the internal zero-delay path used by event triggers,
+        process starts, and waits on already-completed events.  In the
+        fast engine it appends to the ready deque; in reference mode it
+        heap-pushes a ``(now, seq)`` entry — both give the same order.
+        """
+        self._seq += 1
+        if self._fast:
+            self._ready.append((self._seq, fn, args))
+        else:
+            heapq.heappush(self._heap, (self._now, self._seq, fn, args))
 
     def timeout(self, delay: float, value: Any = None) -> "Event":
         """Return an event that triggers after ``delay`` time units."""
+        if self._fast:
+            return Timeout(self, delay, value)
         event = Event(self)
         self.schedule(delay, event.trigger, value)
         return event
@@ -103,22 +166,68 @@ class Simulator:
         if self._running:
             raise SimulationError("simulator is already running (re-entrant run())")
         self._running = True
+        # Locals hoisted out of the hot loop: the ``until`` comparison
+        # reduces to a float compare against ``limit`` (``inf`` when no
+        # bound was given) and every container/function is bound once.
+        limit = inf if until is None else until
+        heap = self._heap
+        ready = self._ready
+        heappop = heapq.heappop
+        popleft = ready.popleft
+        dispatched = 0
+        now = self._now
         try:
-            heap = self._heap
-            while heap:
-                at, _seq, fn, args = heap[0]
-                if until is not None and at > until:
-                    break
-                heapq.heappop(heap)
-                self._now = at
-                fn(*args)
+            if limit >= now:
+                while True:
+                    if ready:
+                        # Merge rule: a heap entry due *now* with a
+                        # smaller seq than the oldest ready entry was
+                        # scheduled earlier and must dispatch first;
+                        # otherwise the ready FIFO is next.  Ready
+                        # entries are always due at the current time
+                        # (the clock only advances once both are
+                        # drained), so no time comparison is needed.
+                        if heap:
+                            head = heap[0]
+                            # Exact equality is the merge identity: a
+                            # heap entry is "due now" only at the very
+                            # timestamp it was keyed with.
+                            if head[0] == now and head[1] < ready[0][0]:  # lint: disable=no-float-eq -- (time, seq) merge identity
+                                heappop(heap)
+                                dispatched += 1
+                                head[2](*head[3])
+                                continue
+                        # No heap entry is due now, and none can appear
+                        # while draining: every fast-mode heap push is
+                        # strictly future (zero-delay work rides the
+                        # deque), so the whole ready FIFO — including
+                        # entries appended by the callbacks themselves —
+                        # drains without re-peeking the heap.
+                        while ready:
+                            entry = popleft()
+                            dispatched += 1
+                            entry[1](*entry[2])
+                        continue
+                    if not heap:
+                        break
+                    head = heap[0]
+                    at = head[0]
+                    if at > limit:
+                        break
+                    heappop(heap)
+                    self._now = now = at
+                    dispatched += 1
+                    head[2](*head[3])
             if until is not None and until > self._now:
                 self._now = until
         finally:
+            self.dispatched += dispatched
             self._running = False
 
     def peek(self) -> Optional[float]:
         """Time of the next scheduled callback, or ``None`` if drained."""
+        if self._ready:
+            return self._now
         return self._heap[0][0] if self._heap else None
 
 
@@ -167,8 +276,20 @@ class Event:
         self._done = True
         self._value = value
         callbacks, self._callbacks = self._callbacks, None
-        for callback in callbacks or ():
-            self.sim.schedule(0.0, callback, self)
+        if callbacks:
+            sim = self.sim
+            if sim._fast:
+                # Inlined ready-deque append: this is the single
+                # hottest scheduling site in event-heavy runs.
+                ready = sim._ready
+                seq = sim._seq
+                for callback in callbacks:
+                    seq += 1
+                    ready.append((seq, callback, (self,)))
+                sim._seq = seq
+            else:
+                for callback in callbacks:
+                    sim._schedule_now(callback, self)
         return self
 
     def fail(self, exc: BaseException) -> "Event":
@@ -180,12 +301,13 @@ class Event:
         callbacks, self._callbacks = self._callbacks, None
         if callbacks:
             self._defused = True
+            schedule_now = self.sim._schedule_now
             for callback in callbacks:
-                self.sim.schedule(0.0, callback, self)
+                schedule_now(callback, self)
         else:
             # Give same-timestamp subscribers one chance to observe the
             # failure before we escalate it.
-            self.sim.schedule(0.0, self._check_defused)
+            self.sim._schedule_now(self._check_defused)
         return self
 
     def wait(self, callback: Callable[["Event"], None]) -> None:
@@ -193,7 +315,14 @@ class Event:
         if self._done:
             if self._exc is not None:
                 self._defused = True
-            self.sim.schedule(0.0, callback, self)
+            sim = self.sim
+            if sim._fast:
+                # Wait-on-done rides the ready deque (inlined): this is
+                # the immediate-grant path of resources and stores.
+                sim._seq += 1
+                sim._ready.append((sim._seq, callback, (self,)))
+            else:
+                sim._schedule_now(callback, self)
         else:
             assert self._callbacks is not None  # pending => list is live
             self._callbacks.append(callback)
@@ -201,6 +330,114 @@ class Event:
     def _check_defused(self) -> None:
         if not self._defused:
             raise SimulationError("unhandled failure in event") from self._exc
+
+
+class Timeout(Event):
+    """Fast-path event armed to trigger after a fixed delay.
+
+    ``yield sim.timeout(d)`` is the single most common operation in every
+    benchmark, and the plain-:class:`Event` implementation paid an event
+    allocation, a callbacks list, and a heap round trip per waiter wake.
+    A ``Timeout`` is armed once at creation (one heap entry, carrying the
+    creation-order ``seq`` so firing order among equal deadlines matches
+    the reference engine exactly) and stores its waiter in a single slot;
+    when it fires, waiters resume through the ready deque exactly where
+    the reference engine's zero-delay entries would have run.
+
+    The public :class:`Event` surface (``triggered``/``ok``/``value``,
+    ``wait``, composites) behaves identically.  Manually triggering or
+    failing a pending timeout is allowed, and — as with the reference
+    engine, whose pre-armed trigger would collide at fire time — raises
+    ``event triggered twice`` when the timer later fires.
+    """
+
+    __slots__ = ("_cb",)
+
+    def __init__(self, sim: Simulator, delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        self.sim = sim
+        self._done = False
+        self._value = value
+        self._exc = None
+        self._defused = False
+        #: ``None`` (no waiter), a single callback, or a list of them.
+        self._cb: Any = None
+        # Inlined schedule(): a Timeout only ever exists in the fast
+        # engine, so the mode branch reduces to the zero-delay test.
+        sim._seq += 1
+        if delay == 0.0:  # lint: disable=no-float-eq -- exact-zero identity routes to the ready deque
+            sim._ready.append((sim._seq, self._fire, ()))
+        else:
+            heapq.heappush(sim._heap, (sim._now + delay, sim._seq, self._fire, ()))
+
+    def _fire(self) -> None:
+        if self._done:
+            raise SimulationError("event triggered twice")
+        self._done = True
+        cb = self._cb
+        if cb is None:
+            return
+        self._cb = None
+        sim = self.sim
+        if type(cb) is list:
+            ready = sim._ready
+            seq = sim._seq
+            for callback in cb:
+                seq += 1
+                ready.append((seq, callback, (self,)))
+            sim._seq = seq
+        else:
+            sim._seq += 1
+            sim._ready.append((sim._seq, cb, (self,)))
+
+    def trigger(self, value: Any = None) -> "Event":
+        if self._done:
+            raise SimulationError("event triggered twice")
+        self._done = True
+        self._value = value
+        self._dispatch_waiters()
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        if self._done:
+            raise SimulationError("event triggered twice")
+        self._done = True
+        self._exc = exc
+        if self._cb is not None:
+            self._defused = True
+            self._dispatch_waiters()
+        else:
+            self.sim._schedule_now(self._check_defused)
+        return self
+
+    def _dispatch_waiters(self) -> None:
+        cb = self._cb
+        if cb is None:
+            return
+        self._cb = None
+        schedule_now = self.sim._schedule_now
+        if type(cb) is list:
+            for callback in cb:
+                schedule_now(callback, self)
+        else:
+            schedule_now(cb, self)
+
+    def wait(self, callback: Callable[["Event"], None]) -> None:
+        if self._done:
+            if self._exc is not None:
+                self._defused = True
+            sim = self.sim
+            sim._seq += 1
+            sim._ready.append((sim._seq, callback, (self,)))
+            return
+        cb = self._cb
+        if cb is None:
+            self._cb = callback
+        elif type(cb) is list:
+            cb.append(callback)
+        else:
+            self._cb = [cb, callback]
 
 
 class Process:
@@ -216,7 +453,7 @@ class Process:
     generator's return value), so processes compose.
     """
 
-    __slots__ = ("sim", "name", "_gen", "done")
+    __slots__ = ("sim", "name", "_gen", "done", "_on_done", "_timer_cb")
 
     def __init__(
         self,
@@ -232,7 +469,10 @@ class Process:
         self.name = name or getattr(generator, "__name__", "process")
         self._gen = generator
         self.done = Event(sim)
-        sim.schedule(0.0, self._step, None, None)
+        # One bound method per process instead of one per yield.
+        self._on_done: Callable[[Event], None] = self._resume
+        self._timer_cb: Callable[[], None] = self._timer_fired
+        sim._schedule_now(self._step, None, None)
 
     @property
     def finished(self) -> bool:
@@ -253,12 +493,25 @@ class Process:
         else:
             self._step(event._value, None)
 
+    def _timer_fired(self) -> None:
+        # Fire half of ``yield <float>``: like an event-based timeout,
+        # the timer entry itself is engine bookkeeping (dispatch one) and
+        # the process resumes through the ready deque under a seq taken
+        # at fire time (dispatch two) — the same two-seq pattern as the
+        # reference engine's trigger-then-callback, so global order is
+        # unchanged.
+        sim = self.sim
+        sim._seq += 1
+        sim._ready.append((sim._seq, self._step, (None, None)))
+
     def _step(self, value: Any, exc: Optional[BaseException]) -> None:
         if _ATOMIC_STACK:
             # Only populated while repro.sim.atomic's guard is enabled: a
             # process advancing here means an atomic section re-entered
             # the engine (nested run(), direct step) — sim time would
-            # pass inside a region that promised none does.
+            # pass inside a region that promised none does.  The check
+            # guards both dispatch paths: heap pops and ready-deque
+            # drains land here alike.
             raise SimulationError(
                 f"process {self.name!r} stepped inside atomic section "
                 f"{_ATOMIC_STACK[-1]!r}"
@@ -274,10 +527,46 @@ class Process:
         except BaseException as error:  # noqa: BLE001 - escalated via event
             self.done.fail(error)
             return
-        if isinstance(target, Process):
-            target.done.wait(self._resume)
+        # ``yield <float>`` is a plain delay: the timeout fast path with
+        # no waitable object at all.  Hot model code (client spin loops,
+        # server threads) yields its CPU charges directly as floats; the
+        # reference engine expands the same yield into the pre-PR
+        # event-based timeout, so both consume identical (time, seq)
+        # slots and dispatch order is bit-for-bit unchanged.  Ints are
+        # accepted too so hand-written configs with integral delays work.
+        typ = type(target)
+        if typ is float or typ is int:
+            sim = self.sim
+            if target < 0.0:
+                self._step(
+                    None,
+                    SimulationError(
+                        f"cannot schedule in the past (delay={target})"
+                    ),
+                )
+            elif sim._fast:
+                sim._seq += 1
+                if target == 0.0:  # lint: disable=no-float-eq -- exact-zero identity routes to the ready deque
+                    sim._ready.append((sim._seq, self._timer_cb, ()))
+                else:
+                    heapq.heappush(
+                        sim._heap,
+                        (sim._now + target, sim._seq, self._timer_cb, ()),
+                    )
+            else:
+                sim.timeout(target).wait(self._on_done)
+            return
+        # A pending timeout with a free waiter slot is claimed inline —
+        # same effect as ``wait()``, one call cheaper.
+        if typ is Timeout:
+            if not target._done and target._cb is None:
+                target._cb = self._on_done
+            else:
+                target.wait(self._on_done)
         elif isinstance(target, Event):
-            target.wait(self._resume)
+            target.wait(self._on_done)
+        elif isinstance(target, Process):
+            target.done.wait(self._on_done)
         else:
             self._step(
                 None,
@@ -326,7 +615,8 @@ def AllOf(sim: Simulator, waitables: Iterable[Union["Event", "Process"]]) -> Eve
     children = [w.done if isinstance(w, Process) else w for w in waitables]
     composite = Event(sim)
     if not children:
-        sim.schedule(0.0, composite.trigger, [])
+        # Guaranteed-immediate completion: ready-deque, not heap.
+        sim._schedule_now(composite.trigger, [])
         return composite
     results: List[Any] = [None] * len(children)
     remaining = [len(children)]

@@ -12,6 +12,11 @@ Three abstractions cover everything the hardware model needs:
   in O(log k).  NIC pipelines, wire serialization, and DMA engines are all
   service stations, which keeps the event count per simulated RDMA
   operation small.
+
+``Resource.request`` and ``Store.get`` grants that can complete
+immediately ride the engine's zero-delay ready deque (any wait on an
+already-triggered event does); station completions use the slotted
+timeout fast path.  Neither costs a heap round trip on the common path.
 """
 
 from __future__ import annotations
@@ -145,19 +150,41 @@ class ServiceStation:
         self.operations = 0
         self.busy_time = 0.0
 
-    def submit(self, service_time: float, value: Any = None) -> Event:
-        """Enqueue one op taking ``service_time``; event fires at completion."""
+    def occupy(self, service_time: float) -> float:
+        """Enqueue one op taking ``service_time``; returns its completion
+        instant (absolute sim time) without arming any event.
+
+        Service is deterministic, so the completion time is fully known at
+        submission — callers that drive their own continuation (the verbs
+        layer) schedule directly against the returned instant and skip an
+        event round trip per pipeline transit.
+        """
         if service_time < 0:
             raise SimulationError(f"negative service time: {service_time}")
         now = self.sim.now
-        start = max(now, heapq.heappop(self._free_at))
-        done_at = start + service_time
-        heapq.heappush(self._free_at, done_at)
+        free_at = self._free_at
+        if len(free_at) == 1:
+            # Single-server station (every NIC pipeline): the heap is one
+            # float, so skip the heapq round trip.
+            free = free_at[0]
+            start = now if now > free else free
+            done_at = start + service_time
+            free_at[0] = done_at
+        else:
+            start = max(now, heapq.heappop(free_at))
+            done_at = start + service_time
+            heapq.heappush(free_at, done_at)
         self.operations += 1
         self.busy_time += service_time
-        event = Event(self.sim)
-        self.sim.schedule(done_at - now, event.trigger, value)
-        return event
+        return done_at
+
+    def submit(self, service_time: float, value: Any = None) -> Event:
+        """Enqueue one op taking ``service_time``; event fires at completion."""
+        done_at = self.occupy(service_time)
+        # timeout() is the engine's cheapest armed event (slotted fast
+        # path, waiters resumed through the ready deque), and a station
+        # completion is exactly an armed one-shot at ``done_at``.
+        return self.sim.timeout(done_at - self.sim.now, value)
 
     def backlog(self) -> float:
         """Time until the earliest server becomes free (0 if idle)."""

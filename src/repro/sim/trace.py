@@ -7,6 +7,20 @@ to request #1293?" — the question throughput counters cannot.
 
 Events are cheap named tuples; recording is O(1) and a category filter
 plus an optional ring-buffer capacity keep long runs bounded.
+
+Cost model (what one ``record()`` call pays):
+
+- **Nobody listens** (``enabled=False`` and no observers): one
+  truthiness check on a precomputed flag, then return.  Benches that
+  only need a tracer to satisfy a component signature opt out this way.
+- **Observers subscribed** (invariant checkers): every offered event is
+  materialized and dispatched to every observer — observers always see
+  100% of the stream, before the category filter, unaffected by
+  sampling and ring-buffer eviction.
+- **Storage**: events of wanted categories are counted exactly and
+  stored every ``sample_every``-th occurrence (default 1 = store all).
+  Sampling thins the ring buffer, never the counts and never the
+  observers, so pinned event-count assertions stay exact.
 """
 
 from __future__ import annotations
@@ -52,6 +66,14 @@ class Tracer:
         the source).
     capacity:
         If given, keep only the most recent ``capacity`` events.
+    enabled:
+        When false, nothing is counted or stored; subscribed observers
+        still see every offered event.  A disabled tracer with no
+        observers rejects every event with a single flag check, making
+        invariant checking opt-in per bench instead of a per-op tax.
+    sample_every:
+        Store every Nth wanted event into the ring buffer (default 1 =
+        store everything).  Counts stay exact and observers see 100%.
     """
 
     def __init__(
@@ -59,9 +81,14 @@ class Tracer:
         sim: Simulator,
         categories: Optional[Iterable[str]] = None,
         capacity: Optional[int] = None,
+        *,
+        enabled: bool = True,
+        sample_every: int = 1,
     ) -> None:
         if capacity is not None and capacity < 1:
             raise ReproError(f"capacity must be >= 1, got {capacity}")
+        if sample_every < 1:
+            raise ReproError(f"sample_every must be >= 1, got {sample_every}")
         self.sim = sim
         self._categories: Optional[Set[str]] = (
             set(categories) if categories is not None else None
@@ -69,32 +96,82 @@ class Tracer:
         self._events: Deque[TraceEvent] = deque(maxlen=capacity)
         self._counts: TallyCounter[str] = TallyCounter()
         self._observers: List[Callable[[TraceEvent], None]] = []
+        self._enabled = bool(enabled)
+        self._sample_every = int(sample_every)
+        self._sample_skip = 0
+        #: Hot-path guard: false only when a record() call could not
+        #: possibly have an effect (disabled, no observers).
+        self._hot = self._enabled
+
+    @property
+    def enabled(self) -> bool:
+        """True while counting/storage is on (observers are unaffected)."""
+        return self._enabled
+
+    @property
+    def sample_every(self) -> int:
+        """Ring-buffer sampling stride (1 = store every wanted event)."""
+        return self._sample_every
+
+    def set_enabled(self, enabled: bool) -> None:
+        """Toggle counting/storage; subscribed observers keep seeing all."""
+        self._enabled = bool(enabled)
+        self._hot = self._enabled or bool(self._observers)
+
+    def set_sampling(self, sample_every: int) -> None:
+        """Store every ``sample_every``-th wanted event (counts stay exact)."""
+        if sample_every < 1:
+            raise ReproError(f"sample_every must be >= 1, got {sample_every}")
+        self._sample_every = int(sample_every)
+        self._sample_skip = 0
 
     def wants(self, category: str) -> bool:
-        """True when this tracer records ``category`` (hot-path guard)."""
+        """True when this tracer records ``category`` (hot-path guard).
+
+        A fully cold tracer (disabled, no observers) wants nothing, so
+        instrumented components can skip building the event kwargs at
+        the call site.
+        """
+        if not self._hot:
+            return False
         return self._categories is None or category in self._categories
 
     def subscribe(self, observer: Callable[[TraceEvent], None]) -> None:
         """Register a live observer (e.g. an invariant checker).
 
         Observers see every event offered to :meth:`record` — before the
-        category filter and unaffected by ring-buffer eviction — so a
-        checker never misses a protocol step just because the stored
-        trace is trimmed.
+        category filter, unaffected by sampling and by ring-buffer
+        eviction — so a checker never misses a protocol step just
+        because the stored trace is trimmed.
         """
         self._observers.append(observer)
+        self._hot = True
 
     def record(self, category: str, label: str, **data: Any) -> None:
         """Record one event at the current simulated time."""
-        if not self._observers and not self.wants(category):
+        if not self._hot:
             return
-        event = TraceEvent(self.sim.now, category, label, data)
-        for observer in self._observers:
-            observer(event)
-        if not self.wants(category):
-            return
-        self._events.append(event)
+        observers = self._observers
+        if observers:
+            event = TraceEvent(self.sim.now, category, label, data)
+            for observer in observers:
+                observer(event)
+            if not self._enabled or not (
+                self._categories is None or category in self._categories
+            ):
+                return
+        else:
+            # _hot with no observers implies enabled.
+            if not (self._categories is None or category in self._categories):
+                return
+            event = TraceEvent(self.sim.now, category, label, data)
         self._counts[category] += 1
+        skip = self._sample_skip + 1
+        if skip < self._sample_every:
+            self._sample_skip = skip
+            return
+        self._sample_skip = 0
+        self._events.append(event)
 
     # ------------------------------------------------------------------
     # Reading the trace
@@ -116,7 +193,9 @@ class Tracer:
         ]
 
     def counts(self) -> Dict[str, int]:
-        """Events recorded per category (including ring-evicted ones)."""
+        """Events recorded per category (including ring-evicted and
+        sampling-skipped ones — counts are exact even when storage is
+        thinned)."""
         return dict(self._counts)
 
     def __len__(self) -> int:

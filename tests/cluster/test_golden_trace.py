@@ -1,0 +1,128 @@
+"""Golden-trace determinism: the full trace stream is pinned to a fixture.
+
+One seeded cluster failover run — tracing fully on, with the
+:class:`ClusterInvariantChecker` subscribed so the run is audited while
+it is recorded — produces a byte-for-byte identical
+``(at_us, category, label)`` stream under the fast engine, under the
+reference engine, and against the checked-in fixture.  The fixture is
+the determinism contract for the whole stack above the engine: any
+reordering introduced by future engine work shows up as a diff here,
+with the first divergent line pointing at the guilty event.
+
+Regenerate (after an *intentional* model change) with::
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/cluster/test_golden_trace.py
+
+and review the diff like any other behavioural change.
+"""
+
+import os
+import struct
+
+from repro.cluster import ClusterConfig, RfpCluster
+from repro.core.config import RfpConfig
+from repro.hw.cluster import build_cluster
+from repro.hw.specs import CLUSTER_EUROSYS17, ClusterSpec
+from repro.kv.store import StoreCostModel
+from repro.lint.invariants import ClusterInvariantChecker
+from repro.sim.core import Simulator
+from repro.sim.random import seeded_rng
+from repro.sim.trace import Tracer
+
+FIXTURE = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "fixtures", "golden_trace.txt"
+)
+
+SHARDS = 3
+CLIENTS = 4
+RECORDS = 48
+WINDOW_US = 600.0
+VALUE_BYTES = 64
+
+_SEQ = struct.Struct("<Q")
+
+
+def _value(sequence: int) -> bytes:
+    return _SEQ.pack(sequence) + b"\x00" * (VALUE_BYTES - 8)
+
+
+def run_traced(reference: bool):
+    """One seeded failover run; returns (trace lines, dispatched)."""
+    sim = Simulator(reference=reference)
+    spec = ClusterSpec(
+        machine=CLUSTER_EUROSYS17.machine,
+        machines=8,
+        switch_hop_us=CLUSTER_EUROSYS17.switch_hop_us,
+    )
+    cluster = build_cluster(sim, spec)
+    # One shared tracer for the cluster layer *and* every shard's RFP
+    # protocol layer: a single totally-ordered stream, in record-call
+    # order, is exactly what the fixture pins.
+    tracer = Tracer(sim)
+    ClusterInvariantChecker().attach(tracer)
+    service = RfpCluster(
+        sim,
+        cluster,
+        shards=SHARDS,
+        rfp_config=RfpConfig(consecutive_slow_calls=1),
+        cost_model=StoreCostModel(jitter_probability=0.0),
+        cluster_config=ClusterConfig(replication_factor=2),
+        tracer=tracer,
+        shard_tracers={f"shard{i}": tracer for i in range(SHARDS)},
+    )
+    keys = [f"key{i:06d}".encode() for i in range(RECORDS)]
+    service.preload([(key, _value(0)) for key in keys])
+    per_client = RECORDS // CLIENTS
+    owned = {
+        c: keys[c * per_client : (c + 1) * per_client] for c in range(CLIENTS)
+    }
+
+    def loop(client, client_id):
+        rng = seeded_rng(client_id)
+        mine = owned[client_id]
+        sequence = 0
+        while True:
+            if sequence % 4 == 3:
+                key = mine[(sequence // 4) % len(mine)]
+                sequence += 1
+                yield from client.put(key, _value(sequence))
+            else:
+                sequence += 1
+                key = keys[int(rng.integers(len(keys)))]
+                yield from client.get(key)
+
+    for index in range(CLIENTS):
+        machine = cluster.machines[SHARDS + index % (spec.machines - SHARDS)]
+        client = service.connect(machine, name=f"c{index}")
+        sim.process(loop(client, index))
+    sim.schedule(WINDOW_US * 0.5, service.kill, "shard1")
+    sim.run(until=WINDOW_US)
+    lines = [
+        f"{event.at_us!r} {event.category} {event.label}"
+        for event in tracer.events()
+    ]
+    return lines, sim.dispatched
+
+
+class TestGoldenTrace:
+    def test_fast_engine_matches_fixture(self):
+        lines, _ = run_traced(reference=False)
+        if os.environ.get("REPRO_REGEN_GOLDEN"):
+            with open(FIXTURE, "w", encoding="utf-8") as sink:
+                sink.write("\n".join(lines) + "\n")
+        with open(FIXTURE, encoding="utf-8") as source:
+            golden = source.read().splitlines()
+        assert len(lines) > 500, "scenario too quiet to pin anything"
+        assert lines == golden
+
+    def test_reference_engine_matches_fixture(self):
+        lines, _ = run_traced(reference=True)
+        with open(FIXTURE, encoding="utf-8") as source:
+            golden = source.read().splitlines()
+        assert lines == golden
+
+    def test_engines_dispatch_identically(self):
+        fast_lines, fast_dispatched = run_traced(reference=False)
+        ref_lines, ref_dispatched = run_traced(reference=True)
+        assert fast_lines == ref_lines
+        assert fast_dispatched == ref_dispatched

@@ -1,0 +1,30 @@
+"""Lint fixture: atomic sections reaching the engine's direct-delay yield.
+
+``yield 0.5`` is the fast engine's direct-delay dispatch path — no
+Event object is ever constructed, but simulated time passes all the
+same.  The atomicity analyzer must treat these numeric yields exactly
+like ``yield sim.timeout(0.5)`` when proving a declared-atomic region
+yield-free.
+"""
+
+
+def settle(sim):
+    # Direct-delay dispatch: a bare numeric yield is a real suspension.
+    yield 0.5
+
+
+def pace(sim, jitter):
+    # Arithmetic delays ride the same path.
+    yield 0.25 + jitter
+
+
+class Mover:
+    def flip(self, sim):  # sim: atomic  (line 22: reaches settle's yield)
+        return settle(sim)
+
+    def flip_jittered(self, sim, jitter):  # sim: atomic  (line 25)
+        return pace(sim, jitter)
+
+    def flip_now(self, state):  # sim: atomic  -- genuinely yield-free
+        state.flag = not state.flag
+        return state.flag

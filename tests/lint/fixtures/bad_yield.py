@@ -3,7 +3,8 @@
 
 def bad_process(sim, station):
     yield station.submit(1.0)  # fine: ServiceStation.submit returns an Event
-    yield 42  # line 6: plain constant yielded by a sim process
+    yield "done"  # line 6: non-numeric plain value yielded by a sim process
+    yield 1.5  # fine: numeric yields are the engine's direct-delay path
 
 
 def data_generator(samples):

@@ -135,6 +135,19 @@ class TestAtomicSectionYields:
         )
         assert lint_with(source, "atomic-section-yields") == []
 
+    def test_direct_delay_yields_are_sim_time(self):
+        # The engine's ``yield <number>`` fast path suspends the process
+        # just like ``yield sim.timeout(n)``; the analyzer must chase
+        # atomic sections into functions whose only yield is numeric.
+        violations = lint_fixture(
+            "bad_ready_dispatch.py", "atomic-section-yields"
+        )
+        assert [v.line for v in violations] == [22, 25]
+        via_constant, via_arith = violations
+        assert "settle" in via_constant.message
+        assert "pace" in via_arith.message
+        assert all("flip_now" not in v.message for v in violations)
+
     def test_comment_contract_without_import(self):
         source = (
             "def waiter(sim):\n"

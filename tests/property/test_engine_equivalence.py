@@ -1,0 +1,105 @@
+"""Property: the fast engine is observationally identical to the
+reference engine on randomly generated process/waitable DAGs.
+
+Hypothesis draws a small program — a set of processes, each a random
+sequence of operations over direct delays, timeouts, shared events,
+``AnyOf``/``AllOf`` composites, and joins on other processes — and runs
+it under ``Simulator()`` and ``Simulator(reference=True)``.  The full
+observable history (every step's ``(process, op, value, now)``), the
+final clock, and the total dispatch count must match exactly.  Delays
+are drawn from a tiny grid so same-timestamp collisions (the regime
+where ordering bugs hide) are common rather than rare.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.core import AllOf, AnyOf, Simulator
+
+# A tiny delay grid maximises timestamp collisions; all values are exact
+# binary floats so time arithmetic is bit-reproducible.
+delays = st.sampled_from([0.0, 0.5, 1.0, 1.5])
+
+# One process body = a sequence of opcodes interpreted by _body below.
+#   ("delay", d)    -> yield d                (direct-delay dispatch path)
+#   ("timeout", d)  -> yield sim.timeout(d)
+#   ("trigger", i)  -> trigger shared event i (if still pending)
+#   ("wait", i)     -> yield shared event i   (skipped if never triggered)
+#   ("any", d1, d2) -> yield AnyOf(timeout(d1), timeout(d2))
+#   ("all", d1, d2) -> yield AllOf(timeout(d1), timeout(d2))
+#   ("join", j)     -> yield process j        (earlier-started only)
+ops = st.one_of(
+    st.tuples(st.just("delay"), delays),
+    st.tuples(st.just("timeout"), delays),
+    st.tuples(st.just("trigger"), st.integers(0, 2)),
+    st.tuples(st.just("wait"), st.integers(0, 2)),
+    st.tuples(st.just("any"), delays, delays),
+    st.tuples(st.just("all"), delays, delays),
+    st.tuples(st.just("join"), st.integers(0, 5)),
+)
+
+programs = st.lists(
+    st.lists(ops, min_size=1, max_size=6), min_size=1, max_size=6
+)
+
+
+def _execute(program, reference):
+    sim = Simulator(reference=reference)
+    # Shared events: "trigger" ops fire them, nobody waits unless a
+    # "wait" op is drawn; triggered-twice is guarded at the op site.
+    shared = [sim.event() for _ in range(3)]
+    history = []
+    processes = []
+
+    def body(pid, opcodes):
+        for step, opcode in enumerate(opcodes):
+            kind = opcode[0]
+            if kind == "delay":
+                yield opcode[1]
+                history.append((pid, step, "delay", sim.now))
+            elif kind == "timeout":
+                value = yield sim.timeout(opcode[1], value=(pid, step))
+                history.append((pid, step, value, sim.now))
+            elif kind == "trigger":
+                event = shared[opcode[1]]
+                if not event.triggered:
+                    event.trigger((pid, step))
+                history.append((pid, step, "trigger", sim.now))
+            elif kind == "wait":
+                # May never trigger: the process then parks forever,
+                # which both engines must agree on as well.
+                value = yield shared[opcode[1]]
+                history.append((pid, step, value, sim.now))
+            elif kind == "any":
+                value = yield AnyOf(
+                    sim, [sim.timeout(opcode[1]), sim.timeout(opcode[2], 1)]
+                )
+                history.append((pid, step, value, sim.now))
+            elif kind == "all":
+                value = yield AllOf(
+                    sim, [sim.timeout(opcode[1], 0), sim.timeout(opcode[2], 1)]
+                )
+                history.append((pid, step, tuple(value), sim.now))
+            elif kind == "join":
+                target = opcode[1]
+                if target < len(processes):
+                    value = yield processes[target]
+                    history.append((pid, step, value, sim.now))
+        return pid
+
+    for pid, opcodes in enumerate(program):
+        processes.append(sim.process(body(pid, opcodes), name=f"p{pid}"))
+    sim.run()
+    final = [
+        (process.done.ok, process.done._value) for process in processes
+    ]
+    return history, final, sim.now, sim.dispatched
+
+
+class TestEngineEquivalenceProperty:
+    @settings(max_examples=120, deadline=None)
+    @given(programs)
+    def test_fast_engine_matches_reference(self, program):
+        fast = _execute(program, reference=False)
+        reference = _execute(program, reference=True)
+        assert fast == reference

@@ -176,7 +176,36 @@ def test_yielding_garbage_fails_process():
     sim = Simulator()
 
     def body(sim):
-        yield 12345
+        yield "not a waitable"
+
+    sim.process(body(sim))
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_yielding_number_is_a_timeout():
+    # ``yield <float>`` (ints accepted too) is the delay fast path.
+    sim = Simulator()
+    seen = {}
+
+    def body(sim):
+        yield 2.5
+        seen["float_at"] = sim.now
+        yield 3
+        seen["int_at"] = sim.now
+        yield 0.0
+        seen["zero_at"] = sim.now
+
+    sim.process(body(sim))
+    sim.run()
+    assert seen == {"float_at": 2.5, "int_at": 5.5, "zero_at": 5.5}
+
+
+def test_yielding_negative_delay_fails_process():
+    sim = Simulator()
+
+    def body(sim):
+        yield -1.0
 
     sim.process(body(sim))
     with pytest.raises(SimulationError):
