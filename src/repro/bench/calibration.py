@@ -9,7 +9,7 @@ curve, ``[L, H]`` from the Fig. 5 curve).
 
 from __future__ import annotations
 
-from typing import Callable, List, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.hw.cluster import build_cluster
 from repro.hw.specs import CLUSTER_EUROSYS17, ClusterSpec
@@ -48,6 +48,7 @@ def measure_inbound_iops(
     *,
     reference: bool = False,
     return_dispatched: bool = False,
+    sim: Optional[Simulator] = None,
 ):
     """Aggregate MOPS the server NIC serves when ``client_threads``
     (spread over 7 machines) issue synchronous RDMA Reads at it.
@@ -55,8 +56,11 @@ def measure_inbound_iops(
     ``reference=True`` replays the same run on the retained pre-PR
     engine and ``return_dispatched=True`` also returns the dispatched
     event count — both exist for the ``repro.bench speed`` suite.
+    ``sim`` lets an orchestrator supply the fresh simulator instead
+    (``reference`` is then ignored).
     """
-    sim = Simulator(reference=reference)
+    if sim is None:
+        sim = Simulator(reference=reference)
     cluster = build_cluster(sim, cluster_spec)
     server_region = cluster.server.register_memory(1 << 20)
     warmup = window_us * 0.25
@@ -83,10 +87,12 @@ def measure_outbound_iops(
     size: int = 32,
     window_us: float = 3000.0,
     cluster_spec: ClusterSpec = CLUSTER_EUROSYS17,
+    sim: Optional[Simulator] = None,
 ) -> float:
     """Aggregate MOPS the server issues with ``server_threads`` posting
     synchronous RDMA Writes to the 7 client machines."""
-    sim = Simulator()
+    if sim is None:
+        sim = Simulator()
     cluster = build_cluster(sim, cluster_spec)
     warmup = window_us * 0.25
     meter = ThroughputMeter(window_start=warmup, window_end=window_us)

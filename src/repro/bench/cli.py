@@ -79,10 +79,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0 if all(check.passed for check in checks) else 1
 
     if args.spec:
+        import json
+
         from repro.bench.custom import load_spec, run_custom
+        from repro.errors import ReproError
 
         scale = Scale.full_scale() if args.full else Scale.fast()
-        result = run_custom(load_spec(args.spec), scale)
+        try:
+            result = run_custom(load_spec(args.spec), scale)
+        except json.JSONDecodeError as error:
+            print(f"error: {args.spec} is not valid JSON: {error}", file=sys.stderr)
+            return 2
+        except (ReproError, OSError) as error:
+            # Malformed or unreadable spec: one clear line, no traceback.
+            print(f"error: {error}", file=sys.stderr)
+            return 2
         section = format_result(result)
         print(section)
         if args.csv:

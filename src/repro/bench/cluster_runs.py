@@ -15,27 +15,25 @@
   Primary-backup writes make the headline durability claim checkable:
   after the run, every acknowledged write must be readable from a
   surviving replica.
+- ``ext-cluster-rejoin`` — extends failover past the takeover: the
+  victim is repaired mid-window, streams its ranges back from the
+  surviving replicas, catches up on writes acknowledged during its
+  outage, and atomically re-enters the ring.
+
+The experiments themselves are declared in :mod:`repro.exp.library` and
+measured by the shared ``cluster`` driver (topology build, tracing,
+ledger workload, phase meters, fault plan, and the audit suites that
+raise :class:`~repro.errors.BenchError` on any breach — a passing run
+*is* the certificate).  These wrappers only shape the outcomes into the
+original :class:`~repro.bench.figures.ExperimentResult` rows.
 """
 
 from __future__ import annotations
 
-import struct
-from typing import Dict, List, Tuple
+from typing import List
 
 from repro.bench.figures import ExperimentResult, _fmt
 from repro.bench.harness import Scale
-from repro.cluster import ClusterConfig, FaultPlan, RfpCluster
-from repro.core.config import RfpConfig
-from repro.errors import BenchError
-from repro.hw.cluster import build_cluster
-from repro.hw.specs import CLUSTER_EUROSYS17, ClusterSpec
-from repro.kv.store import StoreCostModel
-from repro.lint.invariants import ClusterInvariantChecker, RfpInvariantChecker
-from repro.sim.core import Simulator
-from repro.sim.monitor import ThroughputMeter
-from repro.sim.random import seeded_rng
-from repro.sim.trace import Tracer
-from repro.workloads.ycsb import WorkloadSpec, YcsbWorkload
 
 __all__ = [
     "run_ext_cluster_scaling",
@@ -43,64 +41,45 @@ __all__ = [
     "run_ext_cluster_rejoin",
 ]
 
-#: 18-port InfiniScale-IV switch — the largest cluster the testbed wires.
-_CLUSTER18 = ClusterSpec(
-    machine=CLUSTER_EUROSYS17.machine,
-    machines=18,
-    switch_hop_us=CLUSTER_EUROSYS17.switch_hop_us,
-)
+#: Columns shared by the two crash experiments' phase tables.
+_PHASE_COLUMNS = [
+    "phase",
+    "start_us",
+    "end_us",
+    "mops",
+    "fraction_of_pre",
+    "lost_acked_writes",
+    "acked_keys",
+]
 
-_SEQ = struct.Struct("<Q")
-_VALUE_BYTES = 64
+
+def _run_exp_spec(experiment_id: str, scale: Scale):
+    """Lazy import: :mod:`repro.exp` initializes through this package."""
+    from repro.exp.library import SPECS
+    from repro.exp.runner import ExperimentRunner, default_observers
+
+    spec = SPECS[experiment_id]
+    runner = ExperimentRunner(observers=default_observers())
+    return spec, runner.run(spec, scale)
 
 
 def run_ext_cluster_scaling(scale: Scale) -> ExperimentResult:
     """Aggregate MOPS vs shard count (1 → 6) at fixed offered load."""
-    shard_counts = scale.sweep([1, 3, 6], [1, 2, 3, 4, 6])
-    # Fixed client population on the machines no shard configuration
-    # uses, so every row offers the same load.
-    client_machine_slots = range(max(shard_counts), _CLUSTER18.machines)
-    client_threads = 5 * len(client_machine_slots)
-    rows = []
-    for shards in shard_counts:
-        sim = Simulator()
-        cluster = build_cluster(sim, _CLUSTER18)
-        service = RfpCluster(
-            sim,
-            cluster,
-            shards=shards,
-            cluster_config=ClusterConfig(replication_factor=1, op_timeout_us=500.0),
-        )
-        workload = YcsbWorkload(WorkloadSpec(records=scale.records))
-        service.preload(workload.dataset())
-        window = scale.window_us
-        warmup = window * 0.25
-        meter = ThroughputMeter(window_start=warmup, window_end=window)
-
-        def loop(sim, client, operations):
-            for op in operations:
-                if op.is_get:
-                    yield from client.get(op.key)
-                else:
-                    yield from client.put(op.key, op.value)
-                meter.record(sim.now)
-
-        machines = [cluster.machines[slot] for slot in client_machine_slots]
-        for index in range(client_threads):
-            client = service.connect(machines[index % len(machines)], name=f"c{index}")
-            sim.process(loop(sim, client, workload.operations(f"c{index}")))
-        sim.run(until=window)
-        rows.append([shards, client_threads, _fmt(meter.mops(elapsed=window - warmup))])
+    spec, result = _run_exp_spec("ext-cluster-scaling", scale)
+    rows = [
+        [
+            outcome.condition.axis["shards"],
+            outcome.condition.topology.client_threads,
+            _fmt(outcome.metrics["run_mops"]),
+        ]
+        for outcome in result.outcomes
+    ]
     return ExperimentResult(
         "ext-cluster-scaling",
-        "Cluster: aggregate throughput vs shard count",
+        spec.title,
         ["shards", "client_threads", "aggregate_mops"],
         rows,
-        paper_expectation=(
-            "§4.5: the ~5.5 MOPS in-bound ceiling is per-NIC; sharding "
-            "across server machines multiplies aggregate throughput until "
-            "the fixed client population becomes the limit"
-        ),
+        paper_expectation=spec.paper_expectation,
         observations=(
             f"{rows[0][2]} -> {rows[-1][2]} MOPS from "
             f"{rows[0][0]} to {rows[-1][0]} shards"
@@ -108,29 +87,25 @@ def run_ext_cluster_scaling(scale: Scale) -> ExperimentResult:
     )
 
 
-def _failover_workload(
-    records: int, clients: int
-) -> Tuple[List[bytes], Dict[int, List[bytes]]]:
-    """All keys, plus each client's disjoint set of *write* keys.
+def _phase_rows(condition, metrics) -> List[List]:
+    """The crash experiments' phase table from one condition's metrics."""
+    from repro.exp.spec import phases_of
 
-    Disjoint write ownership makes the acknowledged-write ledger exact:
-    per key, the owner's latest acked sequence number is the durability
-    obligation, with no cross-client ordering to reason about.
-    """
-    keys = [f"key{i:06d}".encode() for i in range(records)]
-    per_client = max(1, records // clients)
-    owned = {
-        c: keys[c * per_client : (c + 1) * per_client] for c in range(clients)
-    }
-    return keys, owned
-
-
-def _seq_value(seq: int) -> bytes:
-    return _SEQ.pack(seq) + b"\x00" * (_VALUE_BYTES - _SEQ.size)
-
-
-def _stored_seq(value: bytes) -> int:
-    return _SEQ.unpack_from(value)[0]
+    window = condition.scale.window_us
+    phases = phases_of(condition)
+    pre_mops = metrics[f"{phases[0].name}_mops"]
+    return [
+        [
+            phase.name,
+            window * phase.start_frac,
+            window * phase.end_frac,
+            _fmt(metrics[f"{phase.name}_mops"]),
+            _fmt(metrics[f"{phase.name}_mops"] / max(pre_mops, 1e-9)),
+            metrics["lost_acked_writes"],
+            metrics["acked_keys"],
+        ]
+        for phase in phases
+    ]
 
 
 def run_ext_cluster_failover(scale: Scale) -> ExperimentResult:
@@ -138,157 +113,23 @@ def run_ext_cluster_failover(scale: Scale) -> ExperimentResult:
 
     The run kills one shard mid-window and measures three phases:
     ``pre`` (steady state), ``dip`` (detection + takeover), ``post``
-    (rebalanced steady state).  It then audits the durability and
-    protocol claims and raises :class:`BenchError` on any breach, so a
-    passing run *is* the certificate.
+    (rebalanced steady state), then audits the durability and protocol
+    claims (driver-side), so a passing run *is* the certificate.
     """
-    shards = 3
-    sim = Simulator()
-    cluster = build_cluster(sim, _CLUSTER18)
-    cluster_tracer = Tracer(sim, categories=["cluster"])
-    shard_tracers = {f"shard{i}": Tracer(sim, capacity=1) for i in range(shards)}
-    checkers = {
-        name: RfpInvariantChecker(
-            config=RfpConfig(consecutive_slow_calls=1)
-        ).attach(tracer)
-        for name, tracer in shard_tracers.items()
-    }
-    cluster_checker = ClusterInvariantChecker().attach(cluster_tracer)
-    service = RfpCluster(
-        sim,
-        cluster,
-        shards=shards,
-        # consecutive_slow_calls=1 lets a call stuck on the dead shard
-        # degrade to server-reply after one slow call (§3.2's knob, tuned
-        # for fast failover); zero store jitter keeps healthy shards from
-        # ever triggering the same rule organically.
-        rfp_config=RfpConfig(consecutive_slow_calls=1),
-        cost_model=StoreCostModel(jitter_probability=0.0),
-        cluster_config=ClusterConfig(replication_factor=2),
-        tracer=cluster_tracer,
-        shard_tracers=shard_tracers,
-    )
-    # Client-limited load: 24 threads keep healthy shards below the NIC
-    # ceiling, so the dip measures failover cost, not saturation noise.
-    client_threads = 24
-    records = min(scale.records, 240)
-    keys, owned_writes = _failover_workload(records, client_threads)
-    service.preload([(key, _seq_value(0)) for key in keys])
-
-    window = scale.window_us
-    warmup = window * 0.25
-    kill_at = window * 0.5
-    dip_end = window * 0.6
-    victim = "shard1"
-    pre = ThroughputMeter(window_start=warmup, window_end=kill_at, name="pre")
-    dip = ThroughputMeter(window_start=kill_at, window_end=dip_end, name="dip")
-    post = ThroughputMeter(window_start=dip_end, window_end=window, name="post")
-    #: key -> highest acknowledged write sequence.
-    acked: Dict[bytes, int] = {}
-
-    def loop(sim, client, client_id):
-        rng = seeded_rng(client_id)
-        my_keys = owned_writes[client_id]
-        sequence = 0
-        while True:
-            turn = sequence % 4
-            if turn == 3:
-                key = my_keys[(sequence // 4) % len(my_keys)]
-                sequence += 1
-                yield from client.put(key, _seq_value(sequence))
-                acked[key] = max(acked.get(key, 0), sequence)
-            else:
-                sequence += 1
-                key = keys[int(rng.integers(len(keys)))]
-                yield from client.get(key)
-            now = sim.now
-            pre.record(now)
-            dip.record(now)
-            post.record(now)
-
-    for index in range(client_threads):
-        machine = cluster.machines[shards + index % (_CLUSTER18.machines - shards)]
-        client = service.connect(machine, name=f"c{index}")
-        sim.process(loop(sim, client, index))
-    sim.schedule(kill_at, service.kill, victim)
-    sim.run(until=window)
-
-    pre_mops = pre.mops(elapsed=kill_at - warmup)
-    dip_mops = dip.mops(elapsed=dip_end - kill_at)
-    post_mops = post.mops(elapsed=window - dip_end)
-
-    # --- Audit 1: zero lost acknowledged writes. ----------------------
-    lost = 0
-    for key, sequence in acked.items():
-        stored = max(
-            _stored_seq(service.peek(name, key) or _seq_value(0))
-            for name in service.ring.lookup_replicas(key, 2)
-        )
-        if stored < sequence:
-            lost += 1
-    # --- Audit 2: protocol invariants, per shard and cluster-wide. ----
-    cluster_checker.assert_clean()
-    failed_over = {event.shard for event in service.failover.events}
-    if failed_over != {victim}:
-        raise BenchError(f"expected exactly one failover of {victim}: {failed_over}")
-    for name, checker in checkers.items():
-        handle = service.shards[name]
-        # Every shard — dead included — must have stayed in-bound-only:
-        # healthy shards because no client ever degraded them, the dead
-        # one because a halted server cannot push replies.  Exact
-        # in-bound matching is off because the open-loop clients leave
-        # posted-but-unserved ops in the NIC pipeline at the window cut.
-        checker.check_nic_accounting(
-            handle.jakiro.server, expect_inbound_only=True, strict_inbound=False
-        )
-        checker.assert_clean()
-    if lost:
-        raise BenchError(f"{lost} acknowledged writes lost across failover")
-
-    rows = [
-        ["pre", warmup, kill_at, _fmt(pre_mops), 1.0, lost, len(acked)],
-        [
-            "dip",
-            kill_at,
-            dip_end,
-            _fmt(dip_mops),
-            _fmt(dip_mops / max(pre_mops, 1e-9)),
-            lost,
-            len(acked),
-        ],
-        [
-            "post",
-            dip_end,
-            window,
-            _fmt(post_mops),
-            _fmt(post_mops / max(pre_mops, 1e-9)),
-            lost,
-            len(acked),
-        ],
-    ]
+    spec, result = _run_exp_spec("ext-cluster-failover", scale)
+    outcome = result.outcome("base")
+    rows = _phase_rows(outcome.condition, outcome.metrics)
     return ExperimentResult(
         "ext-cluster-failover",
-        "Cluster: throughput through a single-shard crash (RF=2)",
-        [
-            "phase",
-            "start_us",
-            "end_us",
-            "mops",
-            "fraction_of_pre",
-            "lost_acked_writes",
-            "acked_keys",
-        ],
+        spec.title,
+        _PHASE_COLUMNS,
         rows,
-        paper_expectation=(
-            "the hybrid rule (§3.2) degrades calls stuck on the dead shard "
-            "to a cheap blocked wait while routing falls over to replicas: "
-            "the dip stays shallow, steady state recovers, no acked write "
-            "is lost, and healthy shards stay in-bound-only"
-        ),
+        paper_expectation=spec.paper_expectation,
         observations=(
             f"pre {rows[0][3]} MOPS, dip {rows[1][3]} "
             f"({rows[1][4]}x), post {rows[2][3]} ({rows[2][4]}x); "
-            f"{len(acked)} acked keys audited, {lost} lost"
+            f"{outcome.metrics['acked_keys']} acked keys audited, "
+            f"{outcome.metrics['lost_acked_writes']} lost"
         ),
     )
 
@@ -296,202 +137,34 @@ def run_ext_cluster_failover(scale: Scale) -> ExperimentResult:
 def run_ext_cluster_rejoin(scale: Scale) -> ExperimentResult:
     """Throughput through a full crash -> recover -> rejoin cycle.
 
-    Extends ``ext-cluster-failover`` past the takeover: the victim is
-    *repaired* mid-window, streams its ranges back from the surviving
-    replicas (rejoiner-pulled ranged reads, so donors stay
-    in-bound-only), catches up on writes acknowledged during its outage,
-    and atomically re-enters the ring.  Five phases are measured —
-    ``pre``, ``dip`` (detection + takeover), ``outage`` (two-shard
-    steady state), ``rejoin`` (transfer traffic shares donor NICs),
-    ``post`` (restored three-shard steady state) — and the run audits
-    the claims that make rejoin safe, raising :class:`BenchError` on any
-    breach:
-
-    - the handoff completes before the ``post`` window opens, and the
-      restored ring equals the pre-crash ring;
-    - zero acknowledged writes are lost, *per replica*: every key's
-      latest acked sequence is readable from every final-ring replica,
-      the rejoined shard included (no stale reads below the watermark);
-    - cluster + per-shard protocol invariants hold, donors stay
-      in-bound-only through the transfer traffic, and the rejoiner's
-      only out-bound verbs are its ranged-read requests.
+    Five phases — ``pre``, ``dip`` (detection + takeover), ``outage``
+    (two-shard steady state), ``rejoin`` (transfer traffic shares donor
+    NICs), ``post`` (restored three-shard steady state) — with the
+    driver-side audits that make rejoin safe: completed watermarked
+    handoff restoring the pre-crash ring before the ``post`` window,
+    per-replica durability of every acknowledged write, donors
+    in-bound-only through the transfer, the rejoiner's out-bound verbs
+    exactly its ranged reads, and post-rejoin throughput within 5% of
+    pre-crash.
     """
-    shards = 3
-    sim = Simulator()
-    cluster = build_cluster(sim, _CLUSTER18)
-    cluster_tracer = Tracer(sim, categories=["cluster"])
-    shard_tracers = {f"shard{i}": Tracer(sim, capacity=1) for i in range(shards)}
-    checkers = {
-        name: RfpInvariantChecker(
-            config=RfpConfig(consecutive_slow_calls=1)
-        ).attach(tracer)
-        for name, tracer in shard_tracers.items()
-    }
-    cluster_checker = ClusterInvariantChecker().attach(cluster_tracer)
-    service = RfpCluster(
-        sim,
-        cluster,
-        shards=shards,
-        rfp_config=RfpConfig(consecutive_slow_calls=1),
-        cost_model=StoreCostModel(jitter_probability=0.0),
-        cluster_config=ClusterConfig(replication_factor=2),
-        tracer=cluster_tracer,
-        shard_tracers=shard_tracers,
-    )
-    client_threads = 24
-    records = min(scale.records, 240)
-    keys, owned_writes = _failover_workload(records, client_threads)
-    service.preload([(key, _seq_value(0)) for key in keys])
-    pre_crash_ring = list(service.ring.nodes)
-
-    window = scale.window_us
-    warmup = window * 0.25
-    kill_at = window * 0.4
-    dip_end = window * 0.5
-    repair_at = window * 0.6
-    post_start = window * 0.8
-    victim = "shard1"
-    pre = ThroughputMeter(window_start=warmup, window_end=kill_at, name="pre")
-    dip = ThroughputMeter(window_start=kill_at, window_end=dip_end, name="dip")
-    outage = ThroughputMeter(window_start=dip_end, window_end=repair_at, name="outage")
-    rejoin = ThroughputMeter(
-        window_start=repair_at, window_end=post_start, name="rejoin"
-    )
-    post = ThroughputMeter(window_start=post_start, window_end=window, name="post")
-    meters = [pre, dip, outage, rejoin, post]
-    acked: Dict[bytes, int] = {}
-
-    def loop(sim, client, client_id):
-        rng = seeded_rng(client_id)
-        my_keys = owned_writes[client_id]
-        sequence = 0
-        while True:
-            turn = sequence % 4
-            if turn == 3:
-                key = my_keys[(sequence // 4) % len(my_keys)]
-                sequence += 1
-                yield from client.put(key, _seq_value(sequence))
-                acked[key] = max(acked.get(key, 0), sequence)
-            else:
-                sequence += 1
-                key = keys[int(rng.integers(len(keys)))]
-                yield from client.get(key)
-            now = sim.now
-            for meter in meters:
-                meter.record(now)
-
-    for index in range(client_threads):
-        machine = cluster.machines[shards + index % (_CLUSTER18.machines - shards)]
-        client = service.connect(machine, name=f"c{index}")
-        sim.process(loop(sim, client, index))
-    plan = FaultPlan.kill_then_repair(victim, kill_at, repair_at)
-    plan.arm(sim, service)
-    sim.run(until=window)
-
-    pre_mops = pre.mops(elapsed=kill_at - warmup)
-    phase_mops = [
-        pre_mops,
-        dip.mops(elapsed=dip_end - kill_at),
-        outage.mops(elapsed=repair_at - dip_end),
-        rejoin.mops(elapsed=post_start - repair_at),
-        post.mops(elapsed=window - post_start),
-    ]
-
-    # --- Audit 1: the handoff completed and restored the ring. --------
-    if len(plan.recoveries) != 1:
-        raise BenchError(f"expected exactly one recovery: {plan.recoveries}")
-    recovery = plan.recoveries[0]
-    if recovery.active or recovery.aborted:
-        raise BenchError(
-            f"recovery of {victim} did not complete: {recovery!r}"
-        )
-    handoff_at = recovery.event.finished_at_us
-    if handoff_at is None or handoff_at >= post_start:
-        raise BenchError(
-            f"handoff at {handoff_at} missed the post window ({post_start})"
-        )
-    if service.ring.nodes != pre_crash_ring:
-        raise BenchError(
-            f"rejoin did not restore the pre-crash ring: "
-            f"{service.ring.nodes} != {pre_crash_ring}"
-        )
-    # --- Audit 2: zero lost acked writes, per final-ring replica. -----
-    lost = 0
-    for key, sequence in acked.items():
-        for name in service.ring.lookup_replicas(key, 2):
-            stored = _stored_seq(service.peek(name, key) or _seq_value(0))
-            if stored < sequence:
-                lost += 1
-    # --- Audit 3: protocol invariants + NIC profiles. -----------------
-    cluster_checker.assert_clean()
-    for name, checker in checkers.items():
-        handle = service.shards[name]
-        if name == victim:
-            # The rejoiner's only out-bound verbs are its ranged-read
-            # requests — one per transfer batch.
-            outbound = handle.machine.rnic.outbound_ops
-            if outbound != recovery.event.batches:
-                raise BenchError(
-                    f"rejoiner posted {outbound} out-bound ops; expected "
-                    f"{recovery.event.batches} ranged reads"
-                )
-        else:
-            # Donors served the transfer stream *in-bound*, alongside
-            # live traffic: the paper's server NIC profile survives
-            # recovery.
-            checker.check_nic_accounting(
-                handle.jakiro.server, expect_inbound_only=True, strict_inbound=False
-            )
-        checker.assert_clean()
-    if lost:
-        raise BenchError(f"{lost} acknowledged writes lost across the cycle")
-    if phase_mops[4] < 0.95 * pre_mops:
-        raise BenchError(
-            f"post-rejoin throughput {phase_mops[4]:.3f} MOPS fell below "
-            f"95% of pre-crash {pre_mops:.3f} MOPS"
-        )
-
-    bounds = [warmup, kill_at, dip_end, repair_at, post_start, window]
-    names = ["pre", "dip", "outage", "rejoin", "post"]
-    rows = [
-        [
-            names[i],
-            bounds[i],
-            bounds[i + 1],
-            _fmt(phase_mops[i]),
-            _fmt(phase_mops[i] / max(pre_mops, 1e-9)),
-            lost,
-            len(acked),
-        ]
-        for i in range(5)
-    ]
+    spec, result = _run_exp_spec("ext-cluster-rejoin", scale)
+    outcome = result.outcome("base")
+    metrics = outcome.metrics
+    rows = _phase_rows(outcome.condition, metrics)
     return ExperimentResult(
         "ext-cluster-rejoin",
-        "Cluster: crash, recovery transfer, and ring rejoin (RF=2)",
-        [
-            "phase",
-            "start_us",
-            "end_us",
-            "mops",
-            "fraction_of_pre",
-            "lost_acked_writes",
-            "acked_keys",
-        ],
+        spec.title,
+        _PHASE_COLUMNS,
         rows,
-        paper_expectation=(
-            "recovery traffic rides the same in-bound NIC pipeline the "
-            "paper's fetch path uses, so donors stay in-bound-only and "
-            "the transfer coexists with live load; the watermarked "
-            "handoff restores the pre-crash ring with zero lost acked "
-            "writes and post-rejoin throughput within 5% of pre-crash"
-        ),
+        paper_expectation=spec.paper_expectation,
         observations=(
             f"pre {rows[0][3]} MOPS, outage {rows[2][3]} "
             f"({rows[2][4]}x), post {rows[4][3]} ({rows[4][4]}x); "
-            f"handoff at {handoff_at:.0f}us moved "
-            f"{recovery.event.transferred_keys} keys "
-            f"({recovery.event.catchup_keys} catch-up) in "
-            f"{recovery.event.batches} batches; "
-            f"{len(acked)} acked keys audited, {lost} lost"
+            f"handoff at {metrics['handoff_at_us']:.0f}us moved "
+            f"{metrics['transferred_keys']} keys "
+            f"({metrics['catchup_keys']} catch-up) in "
+            f"{metrics['batches']} batches; "
+            f"{metrics['acked_keys']} acked keys audited, "
+            f"{metrics['lost_acked_writes']} lost"
         ),
     )

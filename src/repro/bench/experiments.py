@@ -7,6 +7,10 @@ from typing import Callable, Dict
 
 from repro.bench import cluster_runs, extensions, figures
 from repro.bench.figures import ExperimentResult
+from repro.bench.harness import Scale
+from repro.errors import BenchError
+
+__all__ = ["EXPERIMENTS", "Experiment", "ExperimentResult", "run_experiment"]
 
 
 def _run_breakdown(scale):
@@ -14,10 +18,6 @@ def _run_breakdown(scale):
     from repro.bench.breakdown import run_breakdown
 
     return run_breakdown(scale)
-from repro.bench.harness import Scale
-from repro.errors import BenchError
-
-__all__ = ["EXPERIMENTS", "Experiment", "ExperimentResult", "run_experiment"]
 
 
 @dataclass(frozen=True)

@@ -17,8 +17,6 @@ import numpy as np
 
 from repro.bench.calibration import (
     inbound_iops_curve,
-    measure_inbound_iops,
-    measure_outbound_iops,
     measured_fetch_round_trip_us,
     model_inbound_iops,
     outbound_iops_curve,
@@ -72,6 +70,21 @@ def _spec(scale: Scale, **kwargs) -> WorkloadSpec:
     return WorkloadSpec(**kwargs)
 
 
+def _run_exp_spec(experiment_id: str, scale: Scale):
+    """Expand and run one declared spec under the invariant observers.
+
+    Imported lazily: :mod:`repro.exp` imports this module's package
+    during its own initialization, so a top-level import here would
+    bite its tail.
+    """
+    from repro.exp.library import SPECS
+    from repro.exp.runner import ExperimentRunner, default_observers
+
+    spec = SPECS[experiment_id]
+    runner = ExperimentRunner(observers=default_observers())
+    return spec, runner.run(spec, scale)
+
+
 # ----------------------------------------------------------------------
 # §2.2 microbenchmarks
 # ----------------------------------------------------------------------
@@ -79,23 +92,26 @@ def _spec(scale: Scale, **kwargs) -> WorkloadSpec:
 
 def run_fig3(scale: Scale) -> ExperimentResult:
     """Out-bound vs in-bound IOPS vs number of server threads (32 B)."""
-    threads = scale.sweep([1, 2, 4, 8, 16], [1, 2, 4, 6, 8, 10, 12, 14, 16])
-    window = scale.window_us
-    inbound_peak = measure_inbound_iops(28, window_us=window)
-    rows = []
-    for count in threads:
-        outbound = measure_outbound_iops(count, window_us=window)
-        rows.append([count, _fmt(outbound), _fmt(inbound_peak)])
+    spec, result = _run_exp_spec("fig3", scale)
+    inbound_peak = result.outcome("paradigm=inbound,client_threads=28").metrics[
+        "mops"
+    ]
+    rows = [
+        [
+            outcome.condition.axis["server_threads"],
+            _fmt(outcome.metrics["mops"]),
+            _fmt(inbound_peak),
+        ]
+        for outcome in result.outcomes
+        if "server_threads" in outcome.condition.axis
+    ]
     peak_out = max(row[1] for row in rows)
     return ExperimentResult(
         "fig3",
-        "In-bound vs out-bound IOPS (32 B)",
+        spec.title,
         ["server_threads", "outbound_mops", "inbound_mops"],
         rows,
-        paper_expectation=(
-            "out-bound saturates ~2.11 MOPS with 4 threads; in-bound peak "
-            "~11.26 MOPS (~5x asymmetry)"
-        ),
+        paper_expectation=spec.paper_expectation,
         observations=(
             f"measured out-bound peak {peak_out:.2f} MOPS, in-bound "
             f"{inbound_peak:.2f} MOPS, asymmetry {inbound_peak / peak_out:.1f}x"
@@ -105,22 +121,22 @@ def run_fig3(scale: Scale) -> ExperimentResult:
 
 def run_fig4(scale: Scale) -> ExperimentResult:
     """Server in-bound IOPS vs number of client threads."""
-    clients = scale.sweep([7, 21, 35, 49, 70], [7, 14, 21, 28, 35, 42, 49, 56, 63, 70])
+    spec, result = _run_exp_spec("fig4", scale)
     rows = [
-        [count, _fmt(measure_inbound_iops(count, window_us=scale.window_us))]
-        for count in clients
+        [
+            outcome.condition.axis["client_threads"],
+            _fmt(outcome.metrics["mops"]),
+        ]
+        for outcome in result.outcomes
     ]
     peak = max(row[1] for row in rows)
     tail = rows[-1][1]
     return ExperimentResult(
         "fig4",
-        "Server in-bound IOPS vs client threads",
+        spec.title,
         ["client_threads", "inbound_mops"],
         rows,
-        paper_expectation=(
-            "rises to ~11.26 MOPS around 28-35 threads, then sags mildly "
-            "(client-side mutex/QP/CQ contention)"
-        ),
+        paper_expectation=spec.paper_expectation,
         observations=f"peak {peak:.2f} MOPS; at 70 threads {tail:.2f} MOPS",
     )
 
@@ -681,51 +697,31 @@ def run_tab3(scale: Scale) -> ExperimentResult:
     )
 
 
+#: Table 1 grid descriptors: paradigm -> (send, process, return) cells.
+_TAB1_GRID = {
+    "server-reply": ("in-bound", "server involved", "out-bound"),
+    "server-bypass": ("in-bound", "server bypassed", "in-bound"),
+    "RFP": ("in-bound", "server involved", "in-bound"),
+    "meaningless": ("in-bound", "server bypassed", "out-bound"),
+}
+
+
 def run_tab1(scale: Scale) -> ExperimentResult:
     """The Table 1 paradigm grid, measured with a tiny echo RPC."""
-    process_us = 0.3
-    rfp = run_controlled_process_time("rfp", process_us, scale=scale)
-    reply = run_controlled_process_time("serverreply", process_us, scale=scale)
-    # Server-bypass corner: ~3 one-sided reads per logical request (the
-    # amplification Pilaf pays); reuse the Fig. 6 machinery at k=3.
-    sim = Simulator()
-    cluster = build_cluster(sim, CLUSTER_EUROSYS17)
-    region = cluster.server.register_memory(1 << 20)
-    window = scale.window_us
-    warmup = window * 0.25
-    meter = ThroughputMeter(window_start=warmup, window_end=window)
-
-    def loop(sim, client):
-        while True:
-            yield from client.request()
-            meter.record(sim.now)
-
-    for index in range(35):
-        client = SyntheticBypassClient(
-            sim, cluster.client_machines[index % 7], cluster, region, 3
-        )
-        sim.process(loop(sim, client))
-    sim.run(until=window)
-    bypass_mops = meter.mops(elapsed=window - warmup)
-    # "Meaningless" corner: server bypassed for processing yet replying
-    # out-bound — at best it behaves like server-reply with zero process
-    # time, i.e. it inherits the out-bound ceiling with no compensation.
-    meaningless = run_controlled_process_time("serverreply", 0.0, scale=scale)
+    spec, result = _run_exp_spec("tab1", scale)
     rows = [
-        ["server-reply", "in-bound", "server involved", "out-bound", _fmt(reply.throughput_mops)],
-        ["server-bypass", "in-bound", "server bypassed", "in-bound", _fmt(bypass_mops)],
-        ["RFP", "in-bound", "server involved", "in-bound", _fmt(rfp.throughput_mops)],
-        ["meaningless", "in-bound", "server bypassed", "out-bound", _fmt(meaningless.throughput_mops)],
+        [
+            paradigm,
+            *_TAB1_GRID[paradigm],
+            _fmt(result.outcome(f"paradigm={paradigm}").metrics["mops"]),
+        ]
+        for paradigm in _TAB1_GRID
     ]
     return ExperimentResult(
         "tab1",
-        "Design-choice grid of Table 1, measured",
+        spec.title,
         ["paradigm", "request_send", "request_process", "result_return", "mops"],
         rows,
-        paper_expectation=(
-            "RFP dominates: server-reply capped by out-bound (~2.1); bypass "
-            "loses to amplification; the bypassed+out-bound corner gains "
-            "nothing over server-reply"
-        ),
+        paper_expectation=spec.paper_expectation,
         observations=f"RFP {rows[2][4]} MOPS tops the grid",
     )

@@ -91,11 +91,17 @@ def run_kv(
     config: Optional[RfpConfig] = None,
     cluster_spec: ClusterSpec = CLUSTER_EUROSYS17,
     value_limit: int = 16384,
+    sim: Optional[Simulator] = None,
 ) -> KvRunResult:
-    """Closed-loop run of one KV system under one workload."""
+    """Closed-loop run of one KV system under one workload.
+
+    ``sim`` lets an orchestrator (:mod:`repro.exp`) supply the fresh
+    simulator so its observers see it; by default one is created here.
+    """
     if client_threads < 1:
         raise BenchError("need at least one client thread")
-    sim = Simulator()
+    if sim is None:
+        sim = Simulator()
     cluster = build_cluster(sim, cluster_spec)
     handle = build_system(
         system,
@@ -192,13 +198,16 @@ def run_controlled_process_time(
     response_bytes: int = 32,
     config: Optional[RfpConfig] = None,
     cluster_spec: ClusterSpec = CLUSTER_EUROSYS17,
+    sim: Optional[Simulator] = None,
 ) -> KvRunResult:
     """The RDTSC-loop experiments: echo RPC with an exact process time.
 
     ``mode`` is ``"rfp"`` (hybrid on), ``"rfp-no-switch"`` (pure repeated
     remote fetching, the Fig. 9/14 ablation), or ``"serverreply"``.
+    ``sim`` lets an orchestrator supply the fresh simulator.
     """
-    sim = Simulator()
+    if sim is None:
+        sim = Simulator()
     cluster = build_cluster(sim, cluster_spec)
     response = bytes(response_bytes)
 

@@ -56,7 +56,7 @@ __all__ = [
     "write_artifact",
 ]
 
-SCHEMA_VERSION = "repro.bench.speed/v1"
+SCHEMA_VERSION = "repro.bench.speed/v2"
 ARTIFACT_NAME = "BENCH_sim_speed.json"
 
 #: Best-of-N wall-clock repetitions per (scenario, engine) cell.
@@ -442,7 +442,15 @@ def format_speed_report(results: List[SpeedResult]) -> str:
 
 
 def write_artifact(results: List[SpeedResult], path: str = ARTIFACT_NAME) -> str:
-    """Write the perf-trajectory artifact; returns the path written."""
+    """Write the perf-trajectory artifact; returns the path written.
+
+    Schema v2 stamps provenance: the git SHA/dirty flag the suite ran at
+    and the scale of the headline (cluster-replay) scenario, so two
+    artifacts can be compared knowing they measured the same tree at the
+    same scenario size.
+    """
+    from repro.provenance import git_provenance
+
     payload = {
         "schema": SCHEMA_VERSION,
         "note": (
@@ -450,6 +458,15 @@ def write_artifact(results: List[SpeedResult], path: str = ARTIFACT_NAME) -> str
             "pinned by tests/bench/test_speed_bench.py; wall_s/events_per_sec"
             "/speedup are host-dependent and recorded for trajectory only"
         ),
+        "provenance": {
+            **git_provenance(),
+            "scale": {
+                "window_us": CLUSTER_WINDOW_US,
+                "warmup_fraction": 0.25,
+                "records": CLUSTER_RECORDS,
+                "full": False,
+            },
+        },
         "repetitions": results[0].repetitions if results else REPETITIONS,
         "scenarios": [result.to_json() for result in results],
         "frozen_baseline": dict(FROZEN_BASELINE),

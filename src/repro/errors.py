@@ -18,6 +18,7 @@ __all__ = [
     "ClusterError",
     "WorkloadError",
     "BenchError",
+    "ExpError",
 ]
 
 
@@ -63,3 +64,7 @@ class WorkloadError(ReproError):
 
 class BenchError(ReproError):
     """Benchmark harness misconfiguration."""
+
+
+class ExpError(BenchError):
+    """Invalid experiment spec, artifact, or ``repro.exp`` registry state."""

@@ -1,0 +1,7 @@
+"""Entry point for ``python -m repro.exp``."""
+
+import sys
+
+from repro.exp.cli import main
+
+sys.exit(main())

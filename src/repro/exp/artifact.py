@@ -1,0 +1,338 @@
+"""Versioned run artifacts: schema, writer, validator.
+
+One suite run serializes to a ``BENCH_<suite>.json`` payload holding,
+per experiment, every condition's declarative description and its
+metrics.  The payload separates two kinds of data explicitly:
+
+- **deterministic** — everything outside ``unpinned`` keys: condition
+  descriptions, simulated-time metrics, provenance.  Two runs of the
+  same suite at the same scale on the same tree must agree on the
+  :func:`deterministic_view` byte for byte.
+- **host-dependent** — wall-clock seconds, carried under ``unpinned``
+  keys so trajectory tooling can show them while determinism checks and
+  :mod:`repro.exp.trajectory` comparisons ignore them structurally
+  (nothing needs a field-by-field skip list).
+
+Validation is declarative (:data:`ARTIFACT_SCHEMA`) and intentionally
+strict about shape but not values: the tier-1 gate validates every
+``BENCH_*.json`` at the repo root through :func:`validate_bench_payload`
+so a hand-edited or truncated artifact fails loudly.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ExpError
+from repro.provenance import git_provenance, scale_provenance
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "build_payload",
+    "deterministic_view",
+    "load_payload",
+    "validate_artifact",
+    "validate_bench_payload",
+    "write_payload",
+]
+
+SCHEMA_VERSION = "repro.exp/v1"
+
+#: Scalar JSON types metric values may take.
+_METRIC_TYPES = (int, float, str, bool)
+
+
+def _round_floats(value):
+    """Stable float rounding so artifacts diff cleanly across runs."""
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, float):
+        return round(value, 6)
+    if isinstance(value, dict):
+        return {key: _round_floats(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_round_floats(item) for item in value]
+    return value
+
+
+def build_payload(
+    suite: str,
+    results: Sequence,
+    scale,
+) -> Dict[str, object]:
+    """Assemble the artifact payload for one suite run.
+
+    ``results`` is a sequence of :class:`~repro.exp.runner.RunResult`;
+    ``scale`` the :class:`~repro.bench.harness.Scale` they all ran at.
+    """
+    experiments: List[Dict[str, object]] = []
+    for result in results:
+        conditions = []
+        for outcome in result.outcomes:
+            conditions.append(
+                {
+                    "label": outcome.condition.label,
+                    "condition": _round_floats(outcome.condition.describe()),
+                    "metrics": _round_floats(dict(outcome.metrics)),
+                    "unpinned": {"wall_s": round(outcome.wall_s, 4)},
+                }
+            )
+        experiments.append(
+            {
+                "experiment_id": result.spec.experiment_id,
+                "title": result.spec.title,
+                "driver": result.spec.driver,
+                "paper_expectation": result.spec.paper_expectation,
+                "conditions": conditions,
+            }
+        )
+    provenance: Dict[str, object] = dict(git_provenance())
+    provenance["scale"] = scale_provenance(scale)
+    return {
+        "schema": SCHEMA_VERSION,
+        "suite": suite,
+        "note": (
+            "metrics and condition descriptions are deterministic in "
+            "simulated time; every 'unpinned' subtree is host-dependent "
+            "(wall clock) and excluded from determinism checks and "
+            "compare"
+        ),
+        "provenance": provenance,
+        "experiments": experiments,
+    }
+
+
+def deterministic_view(payload: Mapping[str, object]) -> Dict[str, object]:
+    """A deep copy with every ``unpinned`` subtree removed.
+
+    This is the byte-identity surface: serialize two views with
+    ``json.dumps(..., sort_keys=True)`` and compare equal.
+    """
+
+    def strip(value):
+        if isinstance(value, dict):
+            return {
+                key: strip(item)
+                for key, item in value.items()
+                if key != "unpinned"
+            }
+        if isinstance(value, list):
+            return [strip(item) for item in value]
+        return value
+
+    return strip(dict(payload))
+
+
+def write_payload(payload: Mapping[str, object], path: str) -> str:
+    """Validate then write the artifact; returns the path written."""
+    validate_artifact(payload)
+    with open(path, "w", encoding="utf-8") as sink:
+        json.dump(payload, sink, indent=2, sort_keys=False)
+        sink.write("\n")
+    return path
+
+
+def load_payload(path: str) -> Dict[str, object]:
+    """Read and structurally validate one ``BENCH_*.json`` file."""
+    try:
+        with open(path, "r", encoding="utf-8") as source:
+            payload = json.load(source)
+    except OSError as error:
+        raise ExpError(f"cannot read artifact {path}: {error}") from error
+    except json.JSONDecodeError as error:
+        raise ExpError(f"artifact {path} is not valid JSON: {error}") from error
+    validate_bench_payload(payload, where=path)
+    return payload
+
+
+# ----------------------------------------------------------------------
+# Declarative validation
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Field:
+    """One required mapping entry and its expected type(s)."""
+
+    name: str
+    types: Tuple[type, ...]
+    #: Non-empty required for containers when True.
+    non_empty: bool = False
+
+
+def _check_fields(
+    mapping: object, fields: Sequence[Field], where: str
+) -> Mapping[str, object]:
+    if not isinstance(mapping, Mapping):
+        raise ExpError(f"{where}: expected a JSON object, got {type(mapping).__name__}")
+    for spec in fields:
+        if spec.name not in mapping:
+            raise ExpError(f"{where}: missing required field {spec.name!r}")
+        value = mapping[spec.name]
+        if not isinstance(value, spec.types) or (
+            isinstance(value, bool) and bool not in spec.types
+        ):
+            expected = "/".join(t.__name__ for t in spec.types)
+            raise ExpError(
+                f"{where}: field {spec.name!r} must be {expected}, "
+                f"got {type(value).__name__}"
+            )
+        if spec.non_empty and not value:
+            raise ExpError(f"{where}: field {spec.name!r} must be non-empty")
+    return mapping
+
+
+#: Top-level shape of a ``repro.exp/v1`` artifact.
+ARTIFACT_SCHEMA: Dict[str, Sequence[Field]] = {
+    "root": (
+        Field("schema", (str,)),
+        Field("suite", (str,), non_empty=True),
+        Field("provenance", (dict,)),
+        Field("experiments", (list,), non_empty=True),
+    ),
+    "provenance": (
+        Field("git_sha", (str,), non_empty=True),
+        Field("git_dirty", (bool,)),
+        Field("scale", (dict,)),
+    ),
+    "scale": (
+        Field("window_us", (int, float)),
+        Field("warmup_fraction", (int, float)),
+        Field("records", (int,)),
+        Field("full", (bool,)),
+    ),
+    "experiment": (
+        Field("experiment_id", (str,), non_empty=True),
+        Field("title", (str,)),
+        Field("driver", (str,), non_empty=True),
+        Field("paper_expectation", (str,)),
+        Field("conditions", (list,), non_empty=True),
+    ),
+    "condition": (
+        Field("label", (str,), non_empty=True),
+        Field("condition", (dict,)),
+        Field("metrics", (dict,), non_empty=True),
+        Field("unpinned", (dict,)),
+    ),
+}
+
+
+def validate_artifact(
+    payload: Mapping[str, object], where: str = "artifact"
+) -> None:
+    """Structurally validate a ``repro.exp/v1`` payload.
+
+    Raises :class:`~repro.errors.ExpError` naming the offending path on
+    the first violation; returns ``None`` on success.
+    """
+    root = _check_fields(payload, ARTIFACT_SCHEMA["root"], where)
+    if root["schema"] != SCHEMA_VERSION:
+        raise ExpError(
+            f"{where}: schema {root['schema']!r} is not {SCHEMA_VERSION!r}"
+        )
+    provenance = _check_fields(
+        root["provenance"], ARTIFACT_SCHEMA["provenance"], f"{where}.provenance"
+    )
+    _check_fields(
+        provenance["scale"], ARTIFACT_SCHEMA["scale"], f"{where}.provenance.scale"
+    )
+    seen_ids = set()
+    for index, experiment in enumerate(root["experiments"]):  # type: ignore[index]
+        exp_where = f"{where}.experiments[{index}]"
+        entry = _check_fields(experiment, ARTIFACT_SCHEMA["experiment"], exp_where)
+        if entry["experiment_id"] in seen_ids:
+            raise ExpError(
+                f"{exp_where}: duplicate experiment_id {entry['experiment_id']!r}"
+            )
+        seen_ids.add(entry["experiment_id"])
+        seen_labels = set()
+        for cindex, condition in enumerate(entry["conditions"]):  # type: ignore[index]
+            cond_where = f"{exp_where}.conditions[{cindex}]"
+            cond = _check_fields(
+                condition, ARTIFACT_SCHEMA["condition"], cond_where
+            )
+            if cond["label"] in seen_labels:
+                raise ExpError(
+                    f"{cond_where}: duplicate condition label {cond['label']!r}"
+                )
+            seen_labels.add(cond["label"])
+            for key, value in cond["metrics"].items():  # type: ignore[union-attr]
+                if not isinstance(value, _METRIC_TYPES):
+                    raise ExpError(
+                        f"{cond_where}.metrics[{key!r}]: metric values must "
+                        f"be scalars, got {type(value).__name__}"
+                    )
+
+
+#: Shape of the ``repro.bench.speed/v2`` artifact (the engine-speed
+#: suite keeps its own writer; the gate validates both families).
+SPEED_SCHEMA: Dict[str, Sequence[Field]] = {
+    "root": (
+        Field("schema", (str,)),
+        Field("provenance", (dict,)),
+        Field("repetitions", (int,)),
+        Field("scenarios", (list,), non_empty=True),
+        Field("frozen_baseline", (dict,)),
+    ),
+    "scenario": (
+        Field("name", (str,), non_empty=True),
+        Field("dispatched_fast", (int,)),
+        Field("dispatched_reference", (int,)),
+        Field("modeled_mops", (int, float)),
+        Field("wall_s_fast", (int, float)),
+        Field("wall_s_reference", (int, float)),
+    ),
+}
+
+
+def validate_speed_artifact(
+    payload: Mapping[str, object], where: str = "artifact"
+) -> None:
+    """Structurally validate a ``repro.bench.speed/v2`` payload."""
+    from repro.bench.speed import SCHEMA_VERSION as SPEED_VERSION
+
+    root = _check_fields(payload, SPEED_SCHEMA["root"], where)
+    if root["schema"] != SPEED_VERSION:
+        raise ExpError(
+            f"{where}: schema {root['schema']!r} is not {SPEED_VERSION!r}"
+        )
+    provenance = _check_fields(
+        root["provenance"], ARTIFACT_SCHEMA["provenance"], f"{where}.provenance"
+    )
+    _check_fields(
+        provenance["scale"], ARTIFACT_SCHEMA["scale"], f"{where}.provenance.scale"
+    )
+    for index, scenario in enumerate(root["scenarios"]):  # type: ignore[index]
+        _check_fields(
+            scenario, SPEED_SCHEMA["scenario"], f"{where}.scenarios[{index}]"
+        )
+
+
+def validate_bench_payload(
+    payload: Mapping[str, object], where: str = "artifact"
+) -> None:
+    """Validate any repo-root ``BENCH_*.json`` by its schema family."""
+    if not isinstance(payload, Mapping) or "schema" not in payload:
+        raise ExpError(f"{where}: artifact has no 'schema' field")
+    schema = payload["schema"]
+    if not isinstance(schema, str):
+        raise ExpError(f"{where}: 'schema' must be a string")
+    if schema.startswith("repro.exp/"):
+        validate_artifact(payload, where)
+    elif schema.startswith("repro.bench.speed/"):
+        validate_speed_artifact(payload, where)
+    else:
+        raise ExpError(f"{where}: unknown artifact schema family {schema!r}")
+
+
+def repo_root_artifacts(root: Optional[str] = None) -> List[str]:
+    """Every ``BENCH_*.json`` path at the repo root (sorted)."""
+    base = (
+        Path(root)
+        if root is not None
+        else Path(__file__).resolve().parents[3]
+    )
+    return sorted(str(path) for path in base.glob("BENCH_*.json"))

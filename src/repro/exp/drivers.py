@@ -1,0 +1,563 @@
+"""Condition drivers: the measurement machinery behind the matrix.
+
+Each driver runs one :class:`~repro.exp.spec.Condition` to completion on
+a fresh simulator obtained through the
+:class:`~repro.exp.runner.ConditionContext` and returns its
+*deterministic* metrics (simulated-time throughput, event counts, audit
+ledgers) — never wall-clock numbers.
+
+Four drivers cover the migrated benchmarks:
+
+- ``raw-verbs`` — the §2.2 microbenchmarks: bare synchronous RDMA
+  read/write loops (figs. 3-4).
+- ``paradigm`` — the Table 1 design-choice grid: RDTSC-controlled echo
+  RPC per paradigm, plus the synthetic server-bypass corner with its
+  access amplification.
+- ``kv`` — one closed-loop KV run (any registered system) under a YCSB
+  workload; the general entry point for future migrations.
+- ``cluster`` — the full sharded-cluster machinery the three
+  ``ext-cluster-*`` benches used to hand-roll: topology build, optional
+  tracing with observer-attached invariant checkers, YCSB or
+  acknowledged-write-ledger load, phase meters, a declarative
+  :class:`~repro.cluster.faults.FaultPlan`, and the failover/rejoin
+  audit suites that raise :class:`~repro.errors.BenchError` on any
+  breach (so a clean run *is* the certificate).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.bench.calibration import measure_inbound_iops, measure_outbound_iops
+from repro.bench.harness import run_controlled_process_time, run_kv
+from repro.cluster import ClusterConfig, FaultPlan, RfpCluster
+from repro.core.config import RfpConfig
+from repro.errors import BenchError, ExpError
+from repro.exp.runner import ConditionContext, Driver
+from repro.exp.spec import phases_of
+from repro.hw.cluster import build_cluster
+from repro.hw.specs import CLUSTER_EUROSYS17, ClusterSpec
+from repro.kv.store import StoreCostModel
+from repro.paradigms.server_bypass import SyntheticBypassClient
+from repro.sim.monitor import ThroughputMeter
+from repro.sim.random import seeded_rng
+from repro.sim.trace import Tracer
+from repro.workloads.value_sizes import FixedValues
+from repro.workloads.ycsb import WorkloadSpec, YcsbWorkload
+
+__all__ = ["DRIVERS"]
+
+_SEQ = struct.Struct("<Q")
+
+
+# ----------------------------------------------------------------------
+# raw-verbs: §2.2 synchronous one-sided loops
+# ----------------------------------------------------------------------
+
+
+def run_raw_verbs(ctx: ConditionContext) -> Mapping[str, object]:
+    """Bare in-bound (client reads) or out-bound (server writes) IOPS."""
+    condition = ctx.condition
+    size = condition.workload.value_bytes
+    window = condition.scale.window_us
+    if condition.paradigm == "outbound":
+        mops = measure_outbound_iops(
+            condition.topology.server_threads,
+            size=size,
+            window_us=window,
+            sim=ctx.make_simulator(),
+        )
+    elif condition.paradigm == "inbound":
+        mops = measure_inbound_iops(
+            condition.topology.client_threads,
+            size=size,
+            window_us=window,
+            sim=ctx.make_simulator(),
+        )
+    else:
+        raise ExpError(
+            f"raw-verbs paradigm must be 'inbound' or 'outbound', "
+            f"got {condition.paradigm!r}"
+        )
+    return {"mops": mops}
+
+
+# ----------------------------------------------------------------------
+# paradigm: the Table 1 grid (controlled echo RPC + bypass corner)
+# ----------------------------------------------------------------------
+
+#: Table 1 row -> (controlled-run mode, forced process time or None).
+_PARADIGM_MODES = {
+    "RFP": ("rfp", None),
+    "rfp": ("rfp", None),
+    "rfp-no-switch": ("rfp-no-switch", None),
+    "server-reply": ("serverreply", None),
+    "serverreply": ("serverreply", None),
+    # Server bypassed for processing yet replying out-bound: at best it
+    # behaves like server-reply with zero process time, i.e. it inherits
+    # the out-bound ceiling with no compensation.
+    "meaningless": ("serverreply", 0.0),
+}
+
+
+def _run_bypass_corner(ctx: ConditionContext) -> Mapping[str, object]:
+    """Server-bypass with k one-sided reads per logical request."""
+    condition = ctx.condition
+    amplification = int(condition.settings.get("amplification", 3))
+    sim = ctx.make_simulator()
+    cluster = build_cluster(sim, CLUSTER_EUROSYS17)
+    region = cluster.server.register_memory(1 << 20)
+    window = condition.scale.window_us
+    warmup = window * condition.scale.warmup_fraction
+    meter = ThroughputMeter(window_start=warmup, window_end=window)
+
+    def loop(sim, client):
+        while True:
+            yield from client.request()
+            meter.record(sim.now)
+
+    machines = cluster.client_machines
+    for index in range(condition.topology.client_threads):
+        client = SyntheticBypassClient(
+            sim, machines[index % len(machines)], cluster, region, amplification
+        )
+        sim.process(loop(sim, client))
+    sim.run(until=window)
+    return {
+        "mops": meter.mops(elapsed=window - warmup),
+        "operations": meter.completions,
+    }
+
+
+def run_paradigm(ctx: ConditionContext) -> Mapping[str, object]:
+    condition = ctx.condition
+    if condition.paradigm == "server-bypass":
+        return _run_bypass_corner(ctx)
+    entry = _PARADIGM_MODES.get(condition.paradigm)
+    if entry is None:
+        raise ExpError(
+            f"unknown paradigm {condition.paradigm!r}; options: "
+            f"{sorted(_PARADIGM_MODES) + ['server-bypass']}"
+        )
+    mode, forced_process_us = entry
+    process_us = (
+        forced_process_us
+        if forced_process_us is not None
+        else condition.workload.process_us
+    )
+    result = run_controlled_process_time(
+        mode,
+        process_us,
+        server_threads=condition.topology.server_threads,
+        client_threads=condition.topology.client_threads,
+        scale=condition.scale,
+        response_bytes=condition.workload.response_bytes,
+        sim=ctx.make_simulator(),
+    )
+    return {
+        "mops": result.throughput_mops,
+        "operations": result.operations_completed,
+        "replies_sent": result.replies_sent,
+        "requests_served": result.requests_served,
+        "clients_in_reply_mode": result.extras.get("clients_in_reply_mode", 0.0),
+    }
+
+
+# ----------------------------------------------------------------------
+# kv: one closed-loop KV run
+# ----------------------------------------------------------------------
+
+
+def run_kv_condition(ctx: ConditionContext) -> Mapping[str, object]:
+    condition = ctx.condition
+    workload = WorkloadSpec(
+        records=condition.workload.resolve_records(condition.scale),
+        get_fraction=condition.workload.get_fraction,
+        distribution=condition.workload.distribution,
+        value_sizes=FixedValues(condition.workload.value_bytes),
+        seed=condition.workload.seed,
+    )
+    result = run_kv(
+        condition.paradigm,
+        workload,
+        server_threads=condition.topology.server_threads,
+        client_threads=condition.topology.client_threads,
+        scale=condition.scale,
+        sim=ctx.make_simulator(),
+    )
+    return {
+        "mops": result.throughput_mops,
+        "operations": result.operations_completed,
+        "mean_latency_us": result.mean_latency(),
+        "p99_latency_us": result.percentile_latency(99),
+        "client_cpu_utilization": result.client_cpu_utilization,
+    }
+
+
+# ----------------------------------------------------------------------
+# cluster: sharded RfpCluster with phases, faults, and audits
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class _ClusterRun:
+    """Everything the audit suites interrogate after the window closes."""
+
+    ctx: ConditionContext
+    service: RfpCluster
+    plan: Optional[FaultPlan]
+    victim: Optional[str]
+    acked: Dict[bytes, int]
+    pre_crash_ring: List[str]
+    phase_mops: Dict[str, float]
+    phase_bounds: Dict[str, Tuple[float, float]]
+    replication_factor: int
+
+    def checker(self, name: str):
+        checker = self.ctx.checkers.get(name)
+        if checker is None:
+            raise ExpError(
+                f"audit needs the {name!r} invariant checker — run under "
+                "an InvariantObserver (repro.exp.runner.default_observers)"
+            )
+        return checker
+
+
+def _seq_value(sequence: int, value_bytes: int) -> bytes:
+    return _SEQ.pack(sequence) + b"\x00" * (value_bytes - _SEQ.size)
+
+
+def _stored_seq(value: bytes) -> int:
+    return _SEQ.unpack_from(value)[0]
+
+
+def _ledger_workload(
+    records: int, clients: int
+) -> Tuple[List[bytes], Dict[int, List[bytes]]]:
+    """All keys, plus each client's disjoint set of *write* keys.
+
+    Disjoint write ownership makes the acknowledged-write ledger exact:
+    per key, the owner's latest acked sequence number is the durability
+    obligation, with no cross-client ordering to reason about.
+    """
+    keys = [f"key{i:06d}".encode() for i in range(records)]
+    per_client = max(1, records // clients)
+    owned = {
+        c: keys[c * per_client : (c + 1) * per_client] for c in range(clients)
+    }
+    return keys, owned
+
+
+def run_cluster(ctx: ConditionContext) -> Mapping[str, object]:
+    condition = ctx.condition
+    topology = condition.topology
+    workload = condition.workload
+    scale = condition.scale
+    settings = condition.settings
+    window = scale.window_us
+    phases = phases_of(condition)
+    audit = settings.get("audit")
+    if audit not in (None, "failover", "rejoin"):
+        raise ExpError(f"unknown cluster audit {audit!r}")
+
+    sim = ctx.make_simulator()
+    cluster_spec = ClusterSpec(
+        machine=CLUSTER_EUROSYS17.machine,
+        machines=topology.machines,
+        switch_hop_us=CLUSTER_EUROSYS17.switch_hop_us,
+    )
+    cluster = build_cluster(sim, cluster_spec)
+
+    slow_calls = settings.get("consecutive_slow_calls")
+    rfp_config = (
+        RfpConfig(consecutive_slow_calls=int(slow_calls))
+        if slow_calls is not None
+        else None
+    )
+    cluster_tracer = None
+    shard_tracers = None
+    if settings.get("tracing", False):
+        cluster_tracer = ctx.publish_tracer(
+            "cluster", Tracer(sim, categories=["cluster"]), "cluster"
+        )
+        shard_tracers = {
+            f"shard{i}": ctx.publish_tracer(
+                f"shard{i}",
+                Tracer(sim, capacity=1),
+                "shard",
+                rfp_config=RfpConfig(consecutive_slow_calls=int(slow_calls))
+                if slow_calls is not None
+                else None,
+            )
+            for i in range(topology.shards)
+        }
+    config_kwargs: Dict[str, object] = {
+        "replication_factor": topology.replication_factor
+    }
+    if settings.get("op_timeout_us") is not None:
+        config_kwargs["op_timeout_us"] = float(settings["op_timeout_us"])
+    service = RfpCluster(
+        sim,
+        cluster,
+        shards=topology.shards,
+        server_threads=topology.server_threads,
+        rfp_config=rfp_config,
+        cost_model=StoreCostModel(jitter_probability=0.0)
+        if settings.get("zero_jitter", False)
+        else None,
+        cluster_config=ClusterConfig(**config_kwargs),  # type: ignore[arg-type]
+        tracer=cluster_tracer,
+        shard_tracers=shard_tracers,
+    )
+
+    records = workload.resolve_records(scale)
+    acked: Dict[bytes, int] = {}
+    meters = [
+        ThroughputMeter(
+            window_start=window * phase.start_frac,
+            window_end=window * phase.end_frac,
+            name=phase.name,
+        )
+        for phase in phases
+    ]
+
+    if workload.kind == "ycsb":
+        generator = YcsbWorkload(
+            WorkloadSpec(
+                records=records,
+                get_fraction=workload.get_fraction,
+                distribution=workload.distribution,
+                value_sizes=FixedValues(workload.value_bytes),
+                seed=workload.seed,
+            )
+        )
+        service.preload(generator.dataset())
+
+        def make_loop(client, client_id: int):
+            operations = generator.operations(f"c{client_id}")
+
+            def loop(sim, client, operations):
+                for op in operations:
+                    if op.is_get:
+                        yield from client.get(op.key)
+                    else:
+                        yield from client.put(op.key, op.value)
+                    now = sim.now
+                    for meter in meters:
+                        meter.record(now)
+
+            return loop(sim, client, operations)
+
+    elif workload.kind == "ledger":
+        keys, owned_writes = _ledger_workload(records, topology.client_threads)
+        value_bytes = workload.value_bytes
+        put_every = workload.put_every
+        service.preload([(key, _seq_value(0, value_bytes)) for key in keys])
+
+        def make_loop(client, client_id: int):
+            def loop(sim, client, client_id):
+                rng = seeded_rng(client_id)
+                my_keys = owned_writes[client_id]
+                sequence = 0
+                while True:
+                    turn = sequence % put_every
+                    if turn == put_every - 1:
+                        key = my_keys[(sequence // put_every) % len(my_keys)]
+                        sequence += 1
+                        yield from client.put(key, _seq_value(sequence, value_bytes))
+                        acked[key] = max(acked.get(key, 0), sequence)
+                    else:
+                        sequence += 1
+                        key = keys[int(rng.integers(len(keys)))]
+                        yield from client.get(key)
+                    now = sim.now
+                    for meter in meters:
+                        meter.record(now)
+
+            return loop(sim, client, client_id)
+
+    else:
+        raise ExpError(
+            f"cluster driver workload kind must be 'ycsb' or 'ledger', "
+            f"got {workload.kind!r}"
+        )
+
+    pre_crash_ring = list(service.ring.nodes)
+    slot_start = (
+        topology.client_slot_start
+        if topology.client_slot_start is not None
+        else topology.shards
+    )
+    span = topology.machines - slot_start
+    for index in range(topology.client_threads):
+        machine = cluster.machines[slot_start + index % span]
+        client = service.connect(machine, name=f"c{index}")
+        sim.process(make_loop(client, index))
+
+    plan: Optional[FaultPlan] = None
+    victim: Optional[str] = None
+    if condition.faults:
+        plan = FaultPlan([point.resolve(window) for point in condition.faults])
+        plan.arm(sim, service)
+        victim = condition.faults[0].shard
+    sim.run(until=window)
+
+    phase_mops: Dict[str, float] = {}
+    phase_bounds: Dict[str, Tuple[float, float]] = {}
+    metrics: Dict[str, object] = {}
+    for phase, meter in zip(phases, meters):
+        start = window * phase.start_frac
+        end = window * phase.end_frac
+        mops = meter.mops(elapsed=end - start)
+        phase_mops[phase.name] = mops
+        phase_bounds[phase.name] = (start, end)
+        metrics[f"{phase.name}_mops"] = mops
+    metrics["dispatched"] = sim.dispatched
+
+    if audit is not None:
+        state = _ClusterRun(
+            ctx=ctx,
+            service=service,
+            plan=plan,
+            victim=victim,
+            acked=acked,
+            pre_crash_ring=pre_crash_ring,
+            phase_mops=phase_mops,
+            phase_bounds=phase_bounds,
+            replication_factor=topology.replication_factor,
+        )
+        if audit == "failover":
+            metrics.update(_audit_failover(state))
+        else:
+            metrics.update(_audit_rejoin(state))
+    return metrics
+
+
+def _lost_on_surviving_replica(state: _ClusterRun) -> int:
+    """Acked writes unreadable from *every* surviving replica."""
+    lost = 0
+    for key, sequence in state.acked.items():
+        stored = max(
+            _stored_seq(
+                state.service.peek(name, key) or _seq_value(0, 8)
+            )
+            for name in state.service.ring.lookup_replicas(
+                key, state.replication_factor
+            )
+        )
+        if stored < sequence:
+            lost += 1
+    return lost
+
+
+def _audit_failover(state: _ClusterRun) -> Dict[str, object]:
+    """The ``ext-cluster-failover`` claims: zero lost acked writes,
+    exactly one failover, protocol + NIC-silence invariants everywhere."""
+    service = state.service
+    lost = _lost_on_surviving_replica(state)
+    state.checker("cluster").assert_clean()
+    failed_over = {event.shard for event in service.failover.events}
+    if failed_over != {state.victim}:
+        raise BenchError(
+            f"expected exactly one failover of {state.victim}: {failed_over}"
+        )
+    for name in service.shards:
+        checker = state.checker(name)
+        handle = service.shards[name]
+        # Every shard — dead included — must have stayed in-bound-only:
+        # healthy shards because no client ever degraded them, the dead
+        # one because a halted server cannot push replies.  Exact
+        # in-bound matching is off because the open-loop clients leave
+        # posted-but-unserved ops in the NIC pipeline at the window cut.
+        checker.check_nic_accounting(
+            handle.jakiro.server, expect_inbound_only=True, strict_inbound=False
+        )
+        checker.assert_clean()
+    if lost:
+        raise BenchError(f"{lost} acknowledged writes lost across failover")
+    return {"lost_acked_writes": lost, "acked_keys": len(state.acked)}
+
+
+def _audit_rejoin(state: _ClusterRun) -> Dict[str, object]:
+    """The ``ext-cluster-rejoin`` claims: completed watermarked handoff
+    restoring the pre-crash ring before the post window, per-replica
+    durability, donors in-bound-only, rejoiner out-bound = its ranged
+    reads, and post-rejoin throughput within 5% of pre-crash."""
+    service = state.service
+    plan = state.plan
+    if plan is None or len(plan.recoveries) != 1:
+        raise BenchError(
+            f"expected exactly one recovery: "
+            f"{plan.recoveries if plan else 'no fault plan'}"
+        )
+    recovery = plan.recoveries[0]
+    if recovery.active or recovery.aborted:
+        raise BenchError(f"recovery of {state.victim} did not complete: {recovery!r}")
+    handoff_at = recovery.event.finished_at_us
+    post_start = state.phase_bounds["post"][0]
+    if handoff_at is None or handoff_at >= post_start:
+        raise BenchError(
+            f"handoff at {handoff_at} missed the post window ({post_start})"
+        )
+    if service.ring.nodes != state.pre_crash_ring:
+        raise BenchError(
+            f"rejoin did not restore the pre-crash ring: "
+            f"{service.ring.nodes} != {state.pre_crash_ring}"
+        )
+    # Zero lost acked writes, *per replica*: every key's latest acked
+    # sequence must be readable from every final-ring replica, the
+    # rejoined shard included (no stale reads below the watermark).
+    lost = 0
+    for key, sequence in state.acked.items():
+        for name in service.ring.lookup_replicas(key, state.replication_factor):
+            stored = _stored_seq(service.peek(name, key) or _seq_value(0, 8))
+            if stored < sequence:
+                lost += 1
+    state.checker("cluster").assert_clean()
+    for name in service.shards:
+        checker = state.checker(name)
+        handle = service.shards[name]
+        if name == state.victim:
+            # The rejoiner's only out-bound verbs are its ranged-read
+            # requests — one per transfer batch.
+            outbound = handle.machine.rnic.outbound_ops
+            if outbound != recovery.event.batches:
+                raise BenchError(
+                    f"rejoiner posted {outbound} out-bound ops; expected "
+                    f"{recovery.event.batches} ranged reads"
+                )
+        else:
+            # Donors served the transfer stream *in-bound*, alongside
+            # live traffic: the paper's server NIC profile survives
+            # recovery.
+            checker.check_nic_accounting(
+                handle.jakiro.server, expect_inbound_only=True, strict_inbound=False
+            )
+        checker.assert_clean()
+    if lost:
+        raise BenchError(f"{lost} acknowledged writes lost across the cycle")
+    pre_mops = state.phase_mops["pre"]
+    post_mops = state.phase_mops["post"]
+    if post_mops < 0.95 * pre_mops:
+        raise BenchError(
+            f"post-rejoin throughput {post_mops:.3f} MOPS fell below "
+            f"95% of pre-crash {pre_mops:.3f} MOPS"
+        )
+    return {
+        "lost_acked_writes": lost,
+        "acked_keys": len(state.acked),
+        "handoff_at_us": handoff_at,
+        "transferred_keys": recovery.event.transferred_keys,
+        "catchup_keys": recovery.event.catchup_keys,
+        "batches": recovery.event.batches,
+    }
+
+
+DRIVERS: Dict[str, Driver] = {
+    "raw-verbs": run_raw_verbs,
+    "paradigm": run_paradigm,
+    "kv": run_kv_condition,
+    "cluster": run_cluster,
+}

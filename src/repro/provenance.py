@@ -1,0 +1,55 @@
+"""Run provenance for checked-in benchmark artifacts.
+
+Every ``BENCH_*.json`` at the repo root records the tree it was
+generated from (git SHA + dirty flag) and the measurement scale, so a
+trajectory comparison knows whether two artifacts are commensurable.
+Deliberately dependency-free: both :mod:`repro.bench.speed` and
+:mod:`repro.exp.artifact` stamp artifacts through this module.
+"""
+
+from __future__ import annotations
+
+import subprocess
+from pathlib import Path
+from typing import Dict
+
+__all__ = ["git_provenance", "scale_provenance"]
+
+#: src/repro/provenance.py -> repo root.
+_REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _git(*args: str) -> str:
+    return subprocess.run(
+        ["git", *args],
+        cwd=_REPO_ROOT,
+        capture_output=True,
+        text=True,
+        check=True,
+        timeout=10,
+    ).stdout.strip()
+
+
+def git_provenance() -> Dict[str, object]:
+    """``{"git_sha": ..., "git_dirty": ...}`` for the working tree.
+
+    Falls back to ``"unknown"`` outside a git checkout (e.g. an sdist)
+    rather than failing the benchmark that asked for a stamp.
+    """
+    try:
+        sha = _git("rev-parse", "HEAD")
+        dirty = bool(_git("status", "--porcelain"))
+    except (OSError, subprocess.SubprocessError):
+        return {"git_sha": "unknown", "git_dirty": False}
+    return {"git_sha": sha, "git_dirty": dirty}
+
+
+def scale_provenance(scale) -> Dict[str, object]:
+    """JSON record of a :class:`~repro.bench.harness.Scale` (duck-typed
+    so this module imports nothing from the bench layer)."""
+    return {
+        "window_us": float(scale.window_us),
+        "warmup_fraction": float(scale.warmup_fraction),
+        "records": int(scale.records),
+        "full": bool(scale.full),
+    }

@@ -68,6 +68,20 @@ class TestArtifactShape:
         names = [scenario["name"] for scenario in payload["scenarios"]]
         assert names == list(EXPECTED)
 
+    def test_provenance_recorded(self):
+        # v2 schema: the artifact stamps the tree and scenario scale it
+        # measured.  The SHA is host/commit-dependent — presence and
+        # shape only, never a pinned value.
+        payload = load_artifact()
+        provenance = payload["provenance"]
+        assert provenance["git_sha"]
+        assert isinstance(provenance["git_dirty"], bool)
+        scale = provenance["scale"]
+        assert scale["window_us"] > 0
+        assert 0 <= scale["warmup_fraction"] < 1
+        assert scale["records"] > 0
+        assert isinstance(scale["full"], bool)
+
     def test_deterministic_fields_are_pinned(self):
         payload = load_artifact()
         for scenario in payload["scenarios"]:
@@ -124,6 +138,8 @@ class TestWriterRoundTrip:
         with open(path, encoding="utf-8") as source:
             payload = json.load(source)
         assert payload["schema"] == SCHEMA_VERSION
+        assert payload["provenance"]["git_sha"]
+        assert payload["provenance"]["scale"]["records"] > 0
         assert payload["scenarios"][0]["speedup"] == 2.0
         assert payload["frozen_baseline"]["speedup_vs_fast"] == round(
             FROZEN_BASELINE["wall_s"] / 0.5, 2

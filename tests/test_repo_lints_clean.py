@@ -82,6 +82,26 @@ def test_every_record_call_site_is_declared():
             assert label in TRACE_SCHEMA[category], f"{path}:{lineno}: {label!r}"
 
 
+def test_bench_artifacts_at_repo_root_are_schema_valid():
+    """Every checked-in ``BENCH_*.json`` must validate against its
+    artifact schema (``repro.exp/v1`` or ``repro.bench.speed/v2``) —
+    a drifted writer or a hand-edited artifact fails the plain suite."""
+    from repro.exp.artifact import load_payload, repo_root_artifacts
+
+    artifacts = repo_root_artifacts()
+    assert artifacts, "no BENCH_*.json at repo root — regenerate them"
+    for path in artifacts:
+        load_payload(str(path))  # validates; raises ExpError on drift
+
+
+def test_experiment_registry_is_closed_both_ways():
+    """Every ``repro.exp`` spec is runnable, registered in the bench
+    registry, and covered by a suite — and every suite member exists."""
+    from repro.exp.suites import check_exp_registry
+
+    assert check_exp_registry() == []
+
+
 def test_cluster_atomic_regions_are_declared_and_proven():
     """The ring-surgery/handoff regions carry the atomic contract both
     ways: the runtime marker is on the bound callables, and the static
