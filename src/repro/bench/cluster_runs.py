@@ -19,6 +19,13 @@
   victim is repaired mid-window, streams its ranges back from the
   surviving replicas, catches up on writes acknowledged during its
   outage, and atomically re-enters the ring.
+- ``ext-cluster-rebalance`` — no crash at all: a Zipf hot-set pinned
+  onto one shard saturates its in-bound NIC while the others idle,
+  and the load-aware :class:`~repro.cluster.migration.RebalanceController`
+  migrates the hot vnodes off it live, through the same watermarked
+  range-migration engine recovery uses.  Post-rebalance throughput
+  must beat the no-rebalance baseline by >=1.5x with zero lost acked
+  writes and donors in-bound-only throughout.
 
 The experiments themselves are declared in :mod:`repro.exp.library` and
 measured by the shared ``cluster`` driver (topology build, tracing,
@@ -34,11 +41,13 @@ from typing import List
 
 from repro.bench.figures import ExperimentResult, _fmt
 from repro.bench.harness import Scale
+from repro.errors import BenchError
 
 __all__ = [
     "run_ext_cluster_scaling",
     "run_ext_cluster_failover",
     "run_ext_cluster_rejoin",
+    "run_ext_cluster_rebalance",
 ]
 
 #: Columns shared by the two crash experiments' phase tables.
@@ -166,5 +175,78 @@ def run_ext_cluster_rejoin(scale: Scale) -> ExperimentResult:
             f"{metrics['batches']} batches; "
             f"{metrics['acked_keys']} acked keys audited, "
             f"{metrics['lost_acked_writes']} lost"
+        ),
+    )
+
+
+def run_ext_cluster_rebalance(scale: Scale) -> ExperimentResult:
+    """Live vnode rebalancing under a pinned Zipf hot-set (3 shards).
+
+    Two conditions share one skewed workload — Zipf(1.2) GETs whose
+    hottest ranks are all pinned onto ``shard1`` — differing only in
+    whether the :class:`~repro.cluster.migration.RebalanceController`
+    runs.  Three phases: ``pre`` (skewed steady state), ``spread``
+    (the controller observes, picks hot vnodes, and migrates them
+    live), ``post`` (rebalanced steady state).  The driver-side audit
+    certifies the moves (clean cutovers, zero lost acked writes,
+    donors in-bound-only); this wrapper additionally enforces the
+    headline: rebalanced ``post`` throughput must be >=1.5x the
+    no-rebalance baseline's.
+    """
+    spec, result = _run_exp_spec("ext-cluster-rebalance", scale)
+    baseline = result.outcome("rebalance=False")
+    rebalanced = result.outcome("rebalance=True")
+
+    def condition_rows(outcome) -> List[List]:
+        from repro.exp.spec import phases_of
+
+        window = outcome.condition.scale.window_us
+        return [
+            [
+                "on" if outcome.condition.settings.get("rebalance") else "off",
+                phase.name,
+                window * phase.start_frac,
+                window * phase.end_frac,
+                _fmt(outcome.metrics[f"{phase.name}_mops"]),
+                outcome.metrics["moved_vnodes"],
+                outcome.metrics["lost_acked_writes"],
+                outcome.metrics["acked_keys"],
+            ]
+            for phase in phases_of(outcome.condition)
+        ]
+
+    rows = condition_rows(baseline) + condition_rows(rebalanced)
+    base_post = baseline.metrics["post_mops"]
+    rebal_post = rebalanced.metrics["post_mops"]
+    speedup = rebal_post / max(base_post, 1e-9)
+    if speedup < 1.5:
+        raise BenchError(
+            f"post-rebalance throughput {rebal_post:.3f} MOPS is only "
+            f"{speedup:.2f}x the no-rebalance baseline {base_post:.3f} "
+            "MOPS (bar: 1.5x)"
+        )
+    return ExperimentResult(
+        "ext-cluster-rebalance",
+        spec.title,
+        [
+            "rebalance",
+            "phase",
+            "start_us",
+            "end_us",
+            "mops",
+            "moved_vnodes",
+            "lost_acked_writes",
+            "acked_keys",
+        ],
+        rows,
+        paper_expectation=spec.paper_expectation,
+        observations=(
+            f"post {_fmt(base_post)} -> {_fmt(rebal_post)} MOPS "
+            f"({speedup:.2f}x) after {rebalanced.metrics['migrations']} "
+            f"migrations moved {rebalanced.metrics['moved_vnodes']} vnodes "
+            f"({rebalanced.metrics['migrated_keys']} keys, "
+            f"{rebalanced.metrics['catchup_keys']} catch-up); "
+            f"{rebalanced.metrics['acked_keys']} acked keys audited, "
+            f"{rebalanced.metrics['lost_acked_writes']} lost"
         ),
     )

@@ -76,6 +76,11 @@ def _register() -> Dict[str, Experiment]:
             cluster_runs.run_ext_cluster_rejoin,
         ),
         (
+            "ext-cluster-rebalance",
+            "Cluster: live vnode rebalancing under a Zipf hot-set",
+            cluster_runs.run_ext_cluster_rebalance,
+        ),
+        (
             "ext-ud-rpc",
             "Extension: HERD-style UC/UD RPC vs RC paradigms (§5)",
             extensions.run_ext_ud_rpc,

@@ -6,12 +6,21 @@ Tally for routed-op latency), and :class:`ClusterMetrics` aggregates
 them into report rows.  Readout is idle-safe: a shard that served
 nothing during the window reports NaN latency percentiles instead of
 crashing the report (see :meth:`repro.sim.monitor.Tally.percentile`).
+
+Besides the cumulative counters the aggregate keeps a *windowed* view:
+per-shard (and per-vnode, when the router attributes a ring token) op
+counts since the last :meth:`ClusterMetrics.reset_window`.  The window
+is reset in sim time by whoever reads it — the rebalance controller
+resets after each decision interval — so the load signal tracks the
+*current* skew instead of averaging over the whole run.  Benches read
+the same signal via the ``load_ratio`` report column, so the balancer
+and the reports can never disagree about what "hot" means.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List
+from typing import Dict, Iterable, List, Optional
 
 from repro.errors import ClusterError
 from repro.sim.monitor import Counter, Tally
@@ -46,6 +55,11 @@ class ShardMetrics:
     )
     #: Completed crash→rejoin→handoff cycles for this shard.
     recoveries: Counter = field(default_factory=lambda: Counter("recoveries"))
+    #: Vnodes this shard *received* through completed live rebalance
+    #: migrations (cutovers, not attempts).
+    rebalanced_vnodes: Counter = field(
+        default_factory=lambda: Counter("rebalanced_vnodes")
+    )
 
     @property
     def operations(self) -> int:
@@ -61,6 +75,10 @@ class ClusterMetrics:
         }
         if not self.shards:
             raise ClusterError("cluster metrics need at least one shard")
+        #: Sim time of the last :meth:`reset_window`.
+        self.window_started_us = 0.0
+        self._window_ops: Dict[str, int] = {name: 0 for name in self.shards}
+        self._window_vnode_ops: Dict[int, int] = {}
 
     def shard(self, name: str) -> ShardMetrics:
         try:
@@ -74,8 +92,14 @@ class ClusterMetrics:
         op: str,
         latency_us: float,
         rerouted: bool = False,
+        token: Optional[int] = None,
     ) -> None:
-        """One completed operation routed to shard ``name``."""
+        """One completed operation routed to shard ``name``.
+
+        ``token`` is the ring token the key landed on (when the caller
+        knows it), feeding the per-vnode window the rebalance controller
+        uses to pick *which* vnodes to shed from a hot shard.
+        """
         metrics = self.shard(name)
         if op == "get":
             metrics.gets.increment()
@@ -84,6 +108,9 @@ class ClusterMetrics:
         metrics.latency_us.record(latency_us)
         if rerouted:
             metrics.failover_ops.increment()
+        self._window_ops[name] = self._window_ops.get(name, 0) + 1
+        if token is not None:
+            self._window_vnode_ops[token] = self._window_vnode_ops.get(token, 0) + 1
 
     def record_timeout(self, name: str) -> None:
         self.shard(name).timeouts.increment()
@@ -99,14 +126,55 @@ class ClusterMetrics:
         """Shard ``name`` finished a recovery and re-entered the ring."""
         self.shard(name).recoveries.increment()
 
+    def record_rebalance(self, name: str, vnodes: int) -> None:
+        """Shard ``name`` received ``vnodes`` tokens at a rebalance cutover."""
+        self.shard(name).rebalanced_vnodes.increment(vnodes)
+
     def total_operations(self) -> int:
         return sum(m.operations for m in self.shards.values())
 
+    # ------------------------------------------------------------------
+    # Windowed load signal
+    # ------------------------------------------------------------------
+
+    def reset_window(self, now_us: float) -> None:
+        """Start a fresh load window at sim time ``now_us``."""
+        self.window_started_us = now_us
+        self._window_ops = {name: 0 for name in self.shards}
+        self._window_vnode_ops = {}
+
+    def window_ops_by_shard(self) -> Dict[str, int]:
+        """Ops routed per shard since the last :meth:`reset_window`."""
+        return dict(self._window_ops)
+
+    def window_vnode_ops(self) -> Dict[int, int]:
+        """Ops per ring token since the last :meth:`reset_window` (only
+        tokens the router attributed; untouched vnodes are absent)."""
+        return dict(self._window_vnode_ops)
+
+    def load_imbalance(self) -> float:
+        """Max/mean of the windowed per-shard loads (NaN when idle)."""
+        loads = list(self._window_ops.values())
+        total = sum(loads)
+        if not loads or total == 0:
+            return _NAN
+        return max(loads) / (total / len(loads))
+
     def report_rows(self) -> List[List[object]]:
-        """One row per shard, idle-shard safe (NaN for empty tallies)."""
+        """One row per shard, idle-shard safe (NaN for empty tallies).
+
+        ``load_ratio`` is the shard's windowed ops over the windowed
+        per-shard mean — the exact signal the rebalance controller
+        thresholds on — so a report showing ``3.0`` on one shard and
+        ``0.1`` on the rest *is* the skew the balancer saw.
+        """
+        window = self._window_ops
+        window_mean = sum(window.values()) / max(len(window), 1)
         rows: List[List[object]] = []
         for name in sorted(self.shards):
             metrics = self.shards[name]
+            shard_window = window.get(name, 0)
+            ratio = shard_window / window_mean if window_mean > 0 else _NAN
             rows.append(
                 [
                     name,
@@ -116,8 +184,11 @@ class ClusterMetrics:
                     metrics.failover_ops.value,
                     metrics.transferred_keys.value,
                     metrics.recoveries.value,
+                    metrics.rebalanced_vnodes.value,
                     round(metrics.latency_us.mean(default=_NAN), 3),
                     round(metrics.latency_us.percentile(99, default=_NAN), 3),
+                    shard_window,
+                    round(ratio, 3),
                 ]
             )
         return rows
@@ -131,6 +202,9 @@ class ClusterMetrics:
         "failover_ops",
         "transferred_keys",
         "recoveries",
+        "rebalanced_vnodes",
         "mean_latency_us",
         "p99_latency_us",
+        "window_ops",
+        "load_ratio",
     ]

@@ -7,12 +7,16 @@ other half of the fault cycle: a repaired shard
 ``RECOVERING``, and a :class:`RecoveryCoordinator` streams its key
 ranges back before it atomically re-enters the ring.
 
-The transfer is deliberately RFP-shaped: the *rejoining* shard pulls
-each batch with a one-sided ranged read against the donor — an in-bound
-verb on the donor's NIC — so healthy donors keep the paper's
-in-bound-only NIC profile even while shipping recovery traffic.  Batches
-are paced (``pace_us`` idle gap between reads) so live traffic sharing
-the donor's in-bound pipeline keeps its latency SLO.
+The streaming machinery itself — watermarked pull-based range transfer,
+live write forwarding, pacing, abort/replan control — lives in the
+shared :class:`repro.cluster.migration.RangeMigration` engine (vnode
+rebalancing is its other client); this module supplies recovery's
+policies.  The transfer is deliberately RFP-shaped: the *rejoining*
+shard pulls each batch with a one-sided ranged read against the donor —
+an in-bound verb on the donor's NIC — so healthy donors keep the
+paper's in-bound-only NIC profile even while shipping recovery traffic.
+Batches are paced (``pace_us`` idle gap between reads) so live traffic
+sharing the donor's in-bound pipeline keeps its latency SLO.
 
 Correctness across the crash -> takeover -> rejoin cycle rests on three
 mechanisms, each audited by ``repro.lint.ClusterInvariantChecker``:
@@ -55,129 +59,50 @@ becomes routable while missing keys the actual ring places on it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, Generator, List, Optional, Set, Tuple
-
 from repro.cluster.membership import ShardStatus
+from repro.cluster.migration import MigrationConfig, MigrationEvent, RangeMigration
+from repro.cluster.ring import HashRing
 from repro.errors import ClusterError
-from repro.hw.verbs import READ_REQUEST_WIRE_BYTES
-from repro.kv.store import partition_of
 from repro.sim.atomic import atomic_section
-
-if TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    from repro.cluster.router import RfpCluster
 
 __all__ = ["RecoveryConfig", "RecoveryEvent", "RecoveryCoordinator"]
 
-
-@dataclass(frozen=True)
-class RecoveryConfig:
-    """Tunables for one shard's range-transfer stream.
-
-    Attributes
-    ----------
-    batch_keys:
-        Keys moved per ranged read.  Bigger batches finish sooner but
-        occupy the donor's in-bound pipeline longer per read.
-    pace_us:
-        Idle gap between batches — the SLO knob that keeps live traffic
-        flowing through the shared donor NIC during the transfer.
-    rtt_us:
-        Fabric round-trip charged per ranged read on top of the donor's
-        in-bound service time (request out + response back).
-    """
-
-    batch_keys: int = 32
-    pace_us: float = 10.0
-    rtt_us: float = 3.0
-
-    def __post_init__(self) -> None:
-        if self.batch_keys < 1:
-            raise ClusterError(f"batch_keys must be >= 1, got {self.batch_keys}")
-        if self.pace_us < 0:
-            raise ClusterError(f"pace_us must be >= 0, got {self.pace_us}")
-        if self.rtt_us < 0:
-            raise ClusterError(f"rtt_us must be >= 0, got {self.rtt_us}")
+#: Recovery predates the unified engine; its config and event types are
+#: the engine's own, re-exported under their historical names.
+RecoveryConfig = MigrationConfig
+RecoveryEvent = MigrationEvent
 
 
-@dataclass
-class RecoveryEvent:
-    """Summary of one recovery attempt (completed or aborted)."""
-
-    shard: str
-    started_at_us: float
-    donors: List[str]
-    target_keys: int
-    finished_at_us: Optional[float] = None
-    transferred_keys: int = 0
-    transferred_bytes: int = 0
-    batches: int = 0
-    #: Live writes forwarded to the rejoiner during the transfer.
-    catchup_keys: int = 0
-    aborted: bool = False
-
-
-class RecoveryCoordinator:
+class RecoveryCoordinator(RangeMigration):
     """Streams one dead shard's ranges back, then re-enters the ring.
 
     Constructed (and started) by :meth:`RfpCluster.repair` after the
     shard's server restarted with an empty store and the membership
-    admitted it as ``RECOVERING``.
+    admitted it as ``RECOVERING``.  A recovery is a
+    :class:`RangeMigration` whose target ring is the pre-crash ring
+    (the current ring with the rejoiner re-added) and whose cutover is
+    the atomic handoff: ring reinstatement plus membership promotion.
     """
 
-    def __init__(
-        self,
-        service: "RfpCluster",
-        shard: str,
-        config: Optional[RecoveryConfig] = None,
-    ) -> None:
-        self.service = service
-        self.sim = service.sim
-        self.shard = shard
-        self.config = config if config is not None else RecoveryConfig()
-        self.tracer = service.tracer
-        #: Keys planned but not yet snapshotted from their donor.
-        self._pending: Set[bytes] = set()
-        #: Keys snapshotted at least once (superset of up-to-date keys).
-        self._copied: Set[bytes] = set()
-        #: Keys whose newest acked value reached the rejoiner via write
-        #: forwarding — an older in-flight snapshot must not clobber them.
-        self._fresh: Set[bytes] = set()
-        self._aborted = False
-        self._replan_needed = False
-        self._finished = False
-        self.event = RecoveryEvent(
-            shard=shard,
-            started_at_us=self.sim.now,
-            donors=service.ring.nodes,
-            target_keys=0,
-        )
-        #: The ring as it will be once the shard re-enters — placement is
-        #: a pure function of membership, so this *is* the pre-crash ring
-        #: (recomputed by :meth:`_replan` if the ring changes mid-stream).
-        self.restored_ring = service.ring.with_node(shard)
-        service.membership.subscribe(self._on_status_change)
+    kind = "recovery"
 
     # ------------------------------------------------------------------
-    # Introspection
+    # Policies
     # ------------------------------------------------------------------
 
     @property
-    def active(self) -> bool:
-        return not self._finished
+    def restored_ring(self) -> HashRing:
+        """The ring as it will be once the shard re-enters — placement
+        of a full membership is a pure function of that membership, so
+        this *is* the pre-crash ring (recomputed on replan if the ring
+        changes mid-stream)."""
+        return self.target_ring
 
-    @property
-    def aborted(self) -> bool:
-        return self._aborted
+    def _target_ring(self) -> HashRing:
+        return self.service.ring.with_node(self.shard)
 
-    @property
-    def watermark(self) -> int:
-        """Planned keys copied at least once (monotone, <= target)."""
-        return self.event.target_keys - len(self._pending)
-
-    @property
-    def target(self) -> int:
-        return self.event.target_keys
+    def _cutover(self) -> None:
+        self._handoff()
 
     # ------------------------------------------------------------------
     # Signals
@@ -208,200 +133,6 @@ class RecoveryCoordinator:
         if set(self.service.ring.nodes) != expected:
             self._replan_needed = True
 
-    @atomic_section
-    def note_write(self, key: bytes, value: bytes) -> None:
-        """The router acknowledged a PUT while this recovery runs.
-
-        If the restored ring places ``key`` on the rejoiner, the write
-        is *forwarded*: applied to the rejoiner's store as one more
-        replica of the acked write stream (one fire-and-forget in-bound
-        op on the rejoiner's own NIC — donors are not involved).  The
-        key is then fresh, and any older donor snapshot still in flight
-        is discarded on arrival rather than installed over it.
-        """
-        if not self.active or self._aborted:
-            return
-        if self.shard not in self.restored_ring.lookup_replicas(
-            key, self.service.config.replication_factor
-        ):
-            return
-        if key not in self._copied and key not in self._pending:
-            # Inserted after planning: extend the plan so the watermark
-            # target covers it too.
-            self.event.target_keys += 1
-        self._copied.add(key)
-        self._pending.discard(key)
-        self._fresh.add(key)
-        rejoiner = self.service.shards[self.shard]
-        rejoiner.machine.rnic.submit_inbound(len(key) + len(value))
-        store = rejoiner.jakiro.store
-        store.put(partition_of(key, store.partitions), key, value)
-        self.event.catchup_keys += 1
-
-    # ------------------------------------------------------------------
-    # The transfer process
-    # ------------------------------------------------------------------
-
-    def start(self) -> None:
-        self.sim.process(self._run(), name=f"{self.service.name}.recovery.{self.shard}")
-
-    def _plan(self) -> Dict[str, List[bytes]]:
-        """Donor -> keys to pull: every pair the restored ring places on
-        the rejoiner, donated by the key's *current* primary (exactly one
-        donor per key, no duplicate transfers)."""
-        service = self.service
-        factor = service.config.replication_factor
-        plan: Dict[str, List[bytes]] = {}
-        for donor in service.ring.nodes:
-            store = service.shards[donor].jakiro.store
-            for key, _value in store.items():
-                if service.ring.lookup(key) != donor:
-                    continue  # a replica copy; the primary donates
-                if self.shard in self.restored_ring.lookup_replicas(key, factor):
-                    plan.setdefault(donor, []).append(key)
-        return plan
-
-    @property
-    def _halted(self) -> bool:
-        """The shard was killed again but the detector has not re-declared
-        it DEAD yet (the abort flag only flips on that transition)."""
-        return not self.service.shards[self.shard].alive
-
-    def _run(self) -> Generator:
-        plan = self._plan()
-        self.event.target_keys = sum(len(keys) for keys in plan.values())
-        for keys in plan.values():
-            self._pending.update(keys)
-        batch = self.config.batch_keys
-        while True:
-            for donor in sorted(plan):
-                keys = plan[donor]
-                for start in range(0, len(keys), batch):
-                    if self._aborted or self._halted or self._replan_needed:
-                        break
-                    yield from self._pull_batch(donor, keys[start : start + batch])
-                    yield self.sim.timeout(self.config.pace_us)
-                if self._aborted or self._halted or self._replan_needed:
-                    break
-            if self._aborted:
-                self._finish_aborted()
-                return
-            if self._halted:
-                # Killed in the window between the last batch and the
-                # lease expiry: promoting a halted shard would make
-                # every route to it time out until the detector caught
-                # up.  Wait for the DEAD re-declaration — the sanctioned
-                # abort trigger — instead of handing off.
-                while not self._aborted:
-                    yield self.sim.timeout(self.service.config.heartbeat_interval_us)
-                self._finish_aborted()
-                return
-            if self._replan_needed:
-                plan = self._replan()
-                continue
-            self._handoff()
-            return
-
-    @atomic_section
-    def _replan(self) -> Dict[str, List[bytes]]:
-        """The ring changed under the transfer: rebuild plan and targets.
-
-        The restored ring and the donor plan are recomputed against the
-        current ring.  Keys already copied that the new restored ring
-        still places on the rejoiner stay copied — their forwarding
-        filter held the whole time they were owned — while keys it no
-        longer places there are dropped, and newly owned keys join the
-        pending set to be pulled from their current primaries.  The
-        watermark target is re-based; the ``transfer_replan`` trace
-        re-bases the invariant checker's monotonicity baseline the same
-        way.
-        """
-        self._replan_needed = False
-        self.restored_ring = self.service.ring.with_node(self.shard)
-        self.event.donors = self.service.ring.nodes
-        plan = self._plan()
-        owned: Set[bytes] = set()
-        for keys in plan.values():
-            owned.update(keys)
-        self._copied &= owned
-        self._fresh &= owned
-        self._pending = owned - self._copied
-        self.event.target_keys = len(owned)
-        if self.tracer is not None:
-            self.tracer.record(
-                "cluster",
-                "transfer_replan",
-                shard=self.shard,
-                donors=",".join(self.event.donors),
-                ring=",".join(self.restored_ring.nodes),
-                watermark=self.watermark,
-                target=self.target,
-            )
-        return plan
-
-    def _pull_batch(self, donor: str, keys: List[bytes]) -> Generator:
-        """One ranged read: snapshot ``keys`` on the donor, ship, install.
-
-        The rejoiner issues the read (one out-bound request op on its own
-        NIC); the donor's NIC serves it *in-bound*, sharing the pipeline
-        with live fetch traffic — which is what the pacing protects, and
-        why donors stay in-bound-only throughout.  Keys are claimed
-        before any simulated time passes; a PUT acked while the batch is
-        on the wire is forwarded directly and marks its key fresh, so
-        the stale snapshot is dropped on arrival.
-        """
-        if self._aborted:
-            return
-        service = self.service
-        donor_store = service.shards[donor].jakiro.store
-        snapshot: List[Tuple[bytes, bytes]] = []
-        moved = 0
-        for key in keys:
-            self._pending.discard(key)
-            self._copied.add(key)
-            value, _cost = donor_store.get(partition_of(key, donor_store.partitions), key)
-            if value is None:
-                continue  # evicted on the donor since planning
-            snapshot.append((key, value))
-            moved += len(key) + len(value)
-        rejoiner = service.shards[self.shard]
-        rejoiner.machine.rnic.submit_outbound(READ_REQUEST_WIRE_BYTES, kind="read")
-        served = service.shards[donor].machine.rnic.submit_inbound(moved)
-        yield served
-        yield self.sim.timeout(self.config.rtt_us)
-        if self._aborted:
-            return  # re-halted while the batch was on the wire: drop it
-        if self._replan_needed:
-            # The ring changed while the batch was on the wire (the
-            # donor may even be the shard that just died).  Drop the
-            # batch un-traced and un-claim its keys: the re-plan decides
-            # afresh who owns them and who donates.
-            for key in keys:
-                if key not in self._fresh:
-                    self._copied.discard(key)
-                    self._pending.add(key)
-            return
-        my_store = rejoiner.jakiro.store
-        for key, value in snapshot:
-            if key in self._fresh:
-                continue  # a forwarded write is newer than this snapshot
-            my_store.put(partition_of(key, my_store.partitions), key, value)
-        self.event.batches += 1
-        self.event.transferred_keys += len(snapshot)
-        self.event.transferred_bytes += moved
-        service.metrics.record_transfer(self.shard, len(snapshot), moved)
-        if self.tracer is not None:
-            self.tracer.record(
-                "cluster",
-                "transfer",
-                shard=self.shard,
-                donor=donor,
-                keys=len(snapshot),
-                bytes=moved,
-                watermark=self.watermark,
-                target=self.target,
-            )
-
     # ------------------------------------------------------------------
     # Endgame
     # ------------------------------------------------------------------
@@ -429,7 +160,7 @@ class RecoveryCoordinator:
         service.membership.promote(self.shard)
         self._finished = True
         self.event.finished_at_us = self.sim.now
-        service._recovery_finished(self.shard)
+        service._migration_finished(self)
         service.metrics.record_recovery(self.shard)
         if self.tracer is not None:
             self.tracer.record(
@@ -442,13 +173,36 @@ class RecoveryCoordinator:
                 target=self.target,
             )
 
-    @atomic_section
-    def _finish_aborted(self) -> None:
-        self.service.membership.unsubscribe(self._on_status_change)
-        self._finished = True
-        self.event.aborted = True
-        self.event.finished_at_us = self.sim.now
-        self.service._recovery_finished(self.shard)
+    # ------------------------------------------------------------------
+    # Trace vocabulary
+    # ------------------------------------------------------------------
+
+    def _trace_batch(self, donor: str, keys: int, moved: int) -> None:
+        if self.tracer is not None:
+            self.tracer.record(
+                "cluster",
+                "transfer",
+                shard=self.shard,
+                donor=donor,
+                keys=keys,
+                bytes=moved,
+                watermark=self.watermark,
+                target=self.target,
+            )
+
+    def _trace_replan(self) -> None:
+        if self.tracer is not None:
+            self.tracer.record(
+                "cluster",
+                "transfer_replan",
+                shard=self.shard,
+                donors=",".join(self.event.donors),
+                ring=",".join(self.restored_ring.nodes),
+                watermark=self.watermark,
+                target=self.target,
+            )
+
+    def _trace_abort(self) -> None:
         if self.tracer is not None:
             self.tracer.record(
                 "cluster",
@@ -457,10 +211,3 @@ class RecoveryCoordinator:
                 watermark=self.watermark,
                 target=self.target,
             )
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        state = "aborted" if self._aborted else ("done" if self._finished else "live")
-        return (
-            f"RecoveryCoordinator({self.shard}, {state}, "
-            f"{self.watermark}/{self.target} keys)"
-        )

@@ -13,6 +13,17 @@ properties the cluster layer builds on:
   the ~1/N of keys whose clockwise successor changed; every remapped key
   moves to/from the joining/leaving shard and nowhere else.
 
+Beyond whole-shard membership the ring supports *vnode surgery*
+(:meth:`move_vnode` / :meth:`with_vnodes_moved`): reassigning a single
+token to another live shard, which remaps exactly that token's range and
+nothing else.  This is the cutover primitive live rebalancing builds on
+— a hot shard's busiest vnode can be handed to a cold shard without
+touching any other placement.  Token ownership is therefore *state*, not
+a pure function of membership: copies (:meth:`with_node`,
+:meth:`with_vnodes_moved`) carry the current assignment forward, and
+:meth:`token_of` exposes the owning token per key so per-vnode load can
+be attributed from routed traffic.
+
 Replica placement follows the textbook rule: the replicas of a key are
 the first ``count`` *distinct* shards clockwise of its hash.  That makes
 failover a pure ring operation — removing a dead shard re-routes each of
@@ -21,8 +32,8 @@ its ranges to exactly the shard that already held the range's replica.
 
 from __future__ import annotations
 
-from bisect import bisect_right, insort
-from typing import Dict, Iterable, List, Sequence, Set, Tuple
+from bisect import bisect_left, bisect_right, insort
+from typing import Dict, Iterable, List, Mapping, Sequence, Set, Tuple
 
 from repro.errors import ClusterError
 from repro.kv.store import key_hash
@@ -45,6 +56,9 @@ class HashRing:
         # per (key, count) until the membership changes.  Routers resolve
         # the same small key population on every op.
         self._lookup_cache: Dict[Tuple[bytes, int], List[str]] = {}
+        #: Memoized key -> owning token (cleared with the lookup cache);
+        #: lets the router attribute per-vnode load without re-bisecting.
+        self._token_cache: Dict[bytes, int] = {}
         for node in nodes:
             self.add_node(node)
 
@@ -65,8 +79,16 @@ class HashRing:
         if node in self._nodes:
             raise ClusterError(f"node {node!r} is already on the ring")
         self._nodes.add(node)
-        self._lookup_cache.clear()
+        self._invalidate()
+        present = {token for token, _ in self._tokens}
         for token in self._node_tokens(node):
+            # A canonical token of the joiner may already be live under a
+            # different owner after vnode surgery; the moved assignment
+            # wins (re-join must not silently undo a rebalance).  With no
+            # moves this never triggers — CRC64 token collisions between
+            # distinct names are effectively impossible.
+            if token in present:
+                continue
             insort(self._tokens, (token, node))
 
     def remove_node(self, node: str) -> None:
@@ -74,21 +96,68 @@ class HashRing:
         if node not in self._nodes:
             raise ClusterError(f"node {node!r} is not on the ring")
         self._nodes.remove(node)
-        self._lookup_cache.clear()
+        self._invalidate()
         self._tokens = [entry for entry in self._tokens if entry[1] != node]
 
     def with_node(self, node: str) -> "HashRing":
         """A copy of this ring with ``node`` joined (the original is
         untouched).
 
-        Placement is a pure function of membership, so the copy *is* the
-        ring the cluster will have once ``node`` re-enters — recovery
-        plans its range transfers against it, and re-adding a previously
-        removed shard restores the pre-crash ring exactly.
+        The copy carries the current token *assignment* forward — vnodes
+        moved by rebalancing stay where they are — so it is exactly the
+        ring the cluster will have once ``node`` re-enters via
+        :meth:`add_node`.  Recovery plans its range transfers against it,
+        and re-adding a previously removed shard restores the pre-crash
+        ring exactly.
         """
-        restored = HashRing(self._nodes, vnodes=self.vnodes)
+        restored = self._clone()
         restored.add_node(node)
         return restored
+
+    def with_vnodes_moved(self, moves: Mapping[int, str]) -> "HashRing":
+        """A copy of this ring with each ``token -> node`` move applied
+        (the original is untouched) — the target ring a live vnode
+        migration streams data toward before cutting over."""
+        moved = self._clone()
+        for token, node in sorted(moves.items()):
+            moved.move_vnode(token, node)
+        return moved
+
+    def move_vnode(self, token: int, to_node: str) -> None:
+        """Reassign the vnode at ``token`` to ``to_node``.
+
+        Exactly the keys hashing into ``token``'s range change primary —
+        every other placement is untouched.  This is the rebalancing
+        cutover primitive; the migration engine calls it only after the
+        range's data is fully resident on ``to_node``.
+        """
+        if to_node not in self._nodes:
+            raise ClusterError(f"node {to_node!r} is not on the ring")
+        index = self._token_index(token)
+        if self._tokens[index][1] == to_node:
+            raise ClusterError(f"token {token} is already owned by {to_node!r}")
+        self._invalidate()
+        self._tokens[index] = (token, to_node)
+
+    def owner_of(self, token: int) -> str:
+        """The shard currently assigned the vnode at ``token``."""
+        return self._tokens[self._token_index(token)][1]
+
+    def _token_index(self, token: int) -> int:
+        index = bisect_left(self._tokens, (token,))
+        if index >= len(self._tokens) or self._tokens[index][0] != token:
+            raise ClusterError(f"token {token} is not on the ring")
+        return index
+
+    def _clone(self) -> "HashRing":
+        clone = HashRing(vnodes=self.vnodes)
+        clone._nodes = set(self._nodes)
+        clone._tokens = list(self._tokens)
+        return clone
+
+    def _invalidate(self) -> None:
+        self._lookup_cache.clear()
+        self._token_cache.clear()
 
     @property
     def nodes(self) -> List[str]:
@@ -135,9 +204,29 @@ class HashRing:
         self._lookup_cache[(key, count)] = replicas
         return list(replicas)
 
+    def token_of(self, key: bytes) -> int:
+        """The token owning ``key`` — the first token clockwise of its
+        hash.  Identifies the vnode a routed op lands on, so windowed
+        load can be attributed per vnode, not just per shard."""
+        cached = self._token_cache.get(key)
+        if cached is not None:
+            return cached
+        if not self._tokens:
+            raise ClusterError("token_of on an empty ring")
+        index = bisect_right(self._tokens, (key_hash(key),))
+        token = self._tokens[index % len(self._tokens)][0]
+        self._token_cache[key] = token
+        return token
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+
+    def tokens_of(self, node: str) -> List[int]:
+        """The tokens currently assigned to ``node``, ascending."""
+        if node not in self._nodes:
+            raise ClusterError(f"node {node!r} is not on the ring")
+        return [token for token, owner in self._tokens if owner == node]
 
     def load_counts(self, keys: Sequence[bytes]) -> Dict[str, int]:
         """Keys owned per shard — the balance metric the tests bound."""

@@ -35,6 +35,13 @@ from typing import Callable, Dict, Generator, List, Optional, Sequence, Tuple
 from repro.cluster.failover import FailoverCoordinator
 from repro.cluster.membership import Membership, ShardStatus
 from repro.cluster.metrics import ClusterMetrics
+from repro.cluster.migration import (
+    MigrationConfig,
+    RangeMigration,
+    RebalanceConfig,
+    RebalanceController,
+    VnodeMigration,
+)
 from repro.cluster.recovery import RecoveryConfig, RecoveryCoordinator
 from repro.cluster.ring import HashRing
 from repro.core.adaptive import AdaptiveParameterController
@@ -180,10 +187,13 @@ class RfpCluster:
             self.membership.register(shard_name)
         self.failover = FailoverCoordinator(sim, self.ring, self.membership, tracer)
         self.metrics = ClusterMetrics(sorted(self.shards))
-        #: shard name -> its in-flight recovery (at most one per shard).
-        self._active_recoveries: Dict[str, RecoveryCoordinator] = {}
+        #: ``kind:shard`` -> its in-flight migration (recoveries and
+        #: vnode moves share the registry; at most one per kind+shard).
+        self._active_migrations: Dict[str, RangeMigration] = {}
         #: Every recovery ever started, completed and aborted alike.
         self.recoveries: List[RecoveryCoordinator] = []
+        #: Every vnode migration ever started, completed and aborted alike.
+        self.migrations: List[VnodeMigration] = []
         self._clients: List["ClusterClient"] = []
         self.adaptive: Dict[str, AdaptiveParameterController] = {}
         for handle in self.shards.values():
@@ -267,7 +277,7 @@ class RfpCluster:
                 f"{self.membership.status(shard_name).name}, not DEAD — "
                 "repair races the failure detector"
             )
-        if shard_name in self._active_recoveries:
+        if f"recovery:{shard_name}" in self._active_migrations:
             raise ClusterError(f"shard {shard_name!r} is already recovering")
         handle.jakiro.restart()
         self.membership.rejoin(shard_name, reason="repaired")
@@ -278,22 +288,83 @@ class RfpCluster:
         for client in self._clients:
             client.reconnect(shard_name)
         recovery = RecoveryCoordinator(self, shard_name, config=recovery_config)
-        self._active_recoveries[shard_name] = recovery
+        self._active_migrations[recovery.migration_key] = recovery
         self.recoveries.append(recovery)
         recovery.start()
         return recovery
 
+    def move_vnodes(
+        self,
+        tokens: Sequence[int],
+        to_shard: str,
+        config: Optional[MigrationConfig] = None,
+    ) -> VnodeMigration:
+        """Live-migrate the vnodes at ``tokens`` onto ``to_shard``.
+
+        The returned :class:`VnodeMigration` streams each moved range
+        from its current owner (donors keep serving, and keep their
+        in-bound-only NIC profile) and flips token ownership atomically
+        once its watermark reaches target.  Requires a quiet cluster:
+        every involved shard HEALTHY and no other migration in flight —
+        vnode moves are pure optimization, so they always yield to the
+        correctness machinery instead of racing it.
+        """
+        handle = self._handle(to_shard)
+        if not handle.alive:
+            raise ClusterError(f"cannot migrate vnodes onto dead shard {to_shard!r}")
+        if self.membership.status(to_shard) is not ShardStatus.HEALTHY:
+            raise ClusterError(
+                f"cannot migrate vnodes onto {to_shard!r} while it is "
+                f"{self.membership.status(to_shard).name}"
+            )
+        if self._active_migrations:
+            raise ClusterError(
+                "a migration is already in flight: "
+                f"{sorted(self._active_migrations)}"
+            )
+        for token in tokens:
+            owner = self.ring.owner_of(token)
+            if owner == to_shard:
+                raise ClusterError(f"token {token} is already owned by {to_shard!r}")
+            if self.membership.status(owner) is not ShardStatus.HEALTHY:
+                raise ClusterError(
+                    f"donor {owner!r} of token {token} is "
+                    f"{self.membership.status(owner).name}, not HEALTHY"
+                )
+        migration = VnodeMigration(self, to_shard, tokens, config=config)
+        self._active_migrations[migration.migration_key] = migration
+        self.migrations.append(migration)
+        migration.start()
+        return migration
+
+    def start_rebalancer(
+        self, config: Optional[RebalanceConfig] = None
+    ) -> RebalanceController:
+        """Spawn the load-aware rebalance control loop (see
+        :class:`repro.cluster.migration.RebalanceController`)."""
+        controller = RebalanceController(self, config=config)
+        controller.start()
+        return controller
+
+    @property
+    def active_migrations(self) -> List[RangeMigration]:
+        """In-flight migrations (recoveries and vnode moves), sorted by
+        registry key for deterministic iteration."""
+        return [
+            self._active_migrations[key] for key in sorted(self._active_migrations)
+        ]
+
     @atomic_section
     def note_put(self, key: bytes, value: bytes) -> None:
-        """Router hook: one PUT fully acknowledged.  Recoveries in flight
-        forward the write to their rejoiner if its restored ranges cover
-        the key, so the shard catches up on the live stream instead of
-        chasing a dirty set."""
-        for recovery in self._active_recoveries.values():
-            recovery.note_write(key, value)
+        """Router hook: one PUT fully acknowledged.  Migrations in flight
+        forward the write to their recipient if its incoming ranges
+        cover the key, so the shard catches up on the live stream
+        instead of chasing a dirty set."""
+        for migration in self._active_migrations.values():
+            migration.note_write(key, value)
 
-    def _recovery_finished(self, shard_name: str) -> None:
-        self._active_recoveries.pop(shard_name, None)
+    def _migration_finished(self, migration: RangeMigration) -> None:
+        self._active_migrations.pop(migration.migration_key, None)
 
     def _handle(self, shard_name: str) -> ShardHandle:
         try:
@@ -614,7 +685,11 @@ class ClusterClient:
             which, outcome = yield race
             if which == 0:
                 service.metrics.record_op(
-                    shard_name, op, sim.now - began, rerouted=rerouted
+                    shard_name,
+                    op,
+                    sim.now - began,
+                    rerouted=rerouted,
+                    token=service.ring.token_of(key),
                 )
                 return outcome
             # Timed out: this transport is stuck mid-call — never reuse

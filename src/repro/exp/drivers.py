@@ -32,7 +32,7 @@ from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.bench.calibration import measure_inbound_iops, measure_outbound_iops
 from repro.bench.harness import run_controlled_process_time, run_kv
-from repro.cluster import ClusterConfig, FaultPlan, RfpCluster
+from repro.cluster import ClusterConfig, FaultPlan, RebalanceConfig, RfpCluster
 from repro.core.config import RfpConfig
 from repro.errors import BenchError, ExpError
 from repro.exp.runner import ConditionContext, Driver
@@ -46,6 +46,7 @@ from repro.sim.random import seeded_rng
 from repro.sim.trace import Tracer
 from repro.workloads.value_sizes import FixedValues
 from repro.workloads.ycsb import WorkloadSpec, YcsbWorkload
+from repro.workloads.zipf import ZipfSampler, pin_hot_ranks
 
 __all__ = ["DRIVERS"]
 
@@ -259,7 +260,7 @@ def run_cluster(ctx: ConditionContext) -> Mapping[str, object]:
     window = scale.window_us
     phases = phases_of(condition)
     audit = settings.get("audit")
-    if audit not in (None, "failover", "rejoin"):
+    if audit not in (None, "failover", "rejoin", "rebalance"):
         raise ExpError(f"unknown cluster audit {audit!r}")
 
     sim = ctx.make_simulator()
@@ -356,6 +357,25 @@ def run_cluster(ctx: ConditionContext) -> Mapping[str, object]:
         put_every = workload.put_every
         service.preload([(key, _seq_value(0, value_bytes)) for key in keys])
 
+        # The skew scenario (rebalance bench): GETs draw Zipf *ranks*,
+        # and the rank->key table is rotated so the hottest ranks all
+        # live on one shard.  Writes keep their disjoint uniform
+        # ownership, so the durability ledger is unchanged.
+        hot_shard = settings.get("hot_shard")
+        if hot_shard is not None:
+            get_keys = pin_hot_ranks(
+                keys,
+                service.ring.lookup,
+                str(hot_shard),
+                int(settings.get("hot_ranks", 16)),
+            )
+            sampler: Optional[ZipfSampler] = ZipfSampler(
+                len(keys), float(settings.get("zipf_exponent", 0.99))
+            )
+        else:
+            get_keys = keys
+            sampler = None
+
         def make_loop(client, client_id: int):
             def loop(sim, client, client_id):
                 rng = seeded_rng(client_id)
@@ -370,7 +390,10 @@ def run_cluster(ctx: ConditionContext) -> Mapping[str, object]:
                         acked[key] = max(acked.get(key, 0), sequence)
                     else:
                         sequence += 1
-                        key = keys[int(rng.integers(len(keys)))]
+                        if sampler is not None:
+                            key = get_keys[int(sampler.sample(rng, 1)[0])]
+                        else:
+                            key = keys[int(rng.integers(len(keys)))]
                         yield from client.get(key)
                     now = sim.now
                     for meter in meters:
@@ -402,6 +425,34 @@ def run_cluster(ctx: ConditionContext) -> Mapping[str, object]:
         plan = FaultPlan([point.resolve(window) for point in condition.faults])
         plan.arm(sim, service)
         victim = condition.faults[0].shard
+
+    if settings.get("rebalance"):
+        # Start the load-aware controller after the pre phase has
+        # established the skewed baseline, and stop it before the post
+        # phase so the measured steady state is migration-free.
+        rebalancer_box: List[object] = []
+
+        def _start_rebalancer() -> None:
+            threshold = settings.get("rebalance_threshold")
+            config = (
+                RebalanceConfig(imbalance_threshold=float(threshold))
+                if threshold is not None
+                else None
+            )
+            rebalancer_box.append(service.start_rebalancer(config))
+
+        sim.schedule(
+            window * float(settings.get("rebalance_start_frac", 0.25)),
+            _start_rebalancer,
+        )
+        stop_frac = settings.get("rebalance_stop_frac")
+        if stop_frac is not None:
+
+            def _stop_rebalancer() -> None:
+                for controller in rebalancer_box:
+                    controller.stop()
+
+            sim.schedule(window * float(stop_frac), _stop_rebalancer)
     sim.run(until=window)
 
     phase_mops: Dict[str, float] = {}
@@ -430,8 +481,10 @@ def run_cluster(ctx: ConditionContext) -> Mapping[str, object]:
         )
         if audit == "failover":
             metrics.update(_audit_failover(state))
-        else:
+        elif audit == "rejoin":
             metrics.update(_audit_rejoin(state))
+        else:
+            metrics.update(_audit_rebalance(state))
     return metrics
 
 
@@ -552,6 +605,69 @@ def _audit_rejoin(state: _ClusterRun) -> Dict[str, object]:
         "transferred_keys": recovery.event.transferred_keys,
         "catchup_keys": recovery.event.catchup_keys,
         "batches": recovery.event.batches,
+    }
+
+
+def _audit_rebalance(state: _ClusterRun) -> Dict[str, object]:
+    """The ``ext-cluster-rebalance`` claims: every launched vnode
+    migration cut over cleanly before the window closed, zero lost
+    acked writes under live migration, donors in-bound-only throughout
+    (each shard's only out-bound verbs are the ranged reads of the
+    migrations *it received*), and the baseline condition moved
+    nothing — so the throughput delta is attributable to the moves."""
+    service = state.service
+    enabled = bool(state.ctx.condition.settings.get("rebalance", False))
+    state.checker("cluster").assert_clean()
+    if service.active_migrations:
+        raise BenchError(
+            f"migrations still active at the window cut: "
+            f"{[m.migration_key for m in service.active_migrations]}"
+        )
+    migrations = list(service.migrations)
+    for migration in migrations:
+        if migration.active or migration.aborted:
+            raise BenchError(
+                f"vnode migration {migration.migration_key} did not "
+                f"complete cleanly: {migration.event!r}"
+            )
+    if enabled and not migrations:
+        raise BenchError("rebalancing enabled but no vnode migration ran")
+    if not enabled and migrations:
+        raise BenchError(
+            f"baseline run unexpectedly migrated vnodes: {len(migrations)}"
+        )
+    lost = _lost_on_surviving_replica(state)
+    pulled: Dict[str, int] = {}
+    for migration in migrations:
+        pulled[migration.shard] = (
+            pulled.get(migration.shard, 0) + migration.event.batches
+        )
+    for name in service.shards:
+        checker = state.checker(name)
+        handle = service.shards[name]
+        # Recipients pull; everyone else — donors under live load
+        # included — must never post an out-bound verb.
+        outbound = handle.machine.rnic.outbound_ops
+        expected = pulled.get(name, 0)
+        if outbound != expected:
+            raise BenchError(
+                f"shard {name} posted {outbound} out-bound ops; expected "
+                f"{expected} ranged reads (donors stay in-bound-only)"
+            )
+        if expected == 0:
+            checker.check_nic_accounting(
+                handle.jakiro.server, expect_inbound_only=True, strict_inbound=False
+            )
+        checker.assert_clean()
+    if lost:
+        raise BenchError(f"{lost} acknowledged writes lost across the moves")
+    return {
+        "lost_acked_writes": lost,
+        "acked_keys": len(state.acked),
+        "migrations": len(migrations),
+        "moved_vnodes": sum(len(m.tokens) for m in migrations),
+        "migrated_keys": sum(m.event.transferred_keys for m in migrations),
+        "catchup_keys": sum(m.event.catchup_keys for m in migrations),
     }
 
 

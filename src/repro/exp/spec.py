@@ -239,6 +239,12 @@ class ExperimentSpec:
     #: Off-grid conditions appended after the cross-product (e.g. the
     #: single in-bound-peak measurement fig. 3 pairs with its sweep).
     extras: Tuple[Mapping[str, object], ...] = ()
+    #: Axis names that are driver-read knobs rather than workload or
+    #: topology fields; they route into ``Condition.settings`` like any
+    #: unrecognized base key, but declaring them here lets the spec
+    #: sweep them (e.g. ``rebalance`` on/off) without tripping the
+    #: unknown-axis guard below.
+    setting_axes: Tuple[str, ...] = ()
     paper_expectation: str = ""
 
     def __post_init__(self) -> None:
@@ -247,6 +253,8 @@ class ExperimentSpec:
         if not self.driver:
             raise ExpError(f"{self.experiment_id}: driver must be non-empty")
         for name in self.axes:
+            if name in self.setting_axes:
+                continue
             if name in _RESERVED or name in _WORKLOAD_FIELDS | _TOPOLOGY_FIELDS:
                 continue
             # Unrecognized axis names would silently sweep a setting no

@@ -30,6 +30,7 @@ SUITES: Dict[str, Tuple[str, ...]] = {
         "ext-cluster-scaling",
         "ext-cluster-failover",
         "ext-cluster-rejoin",
+        "ext-cluster-rebalance",
     ),
 }
 

@@ -457,6 +457,17 @@ class ClusterInvariantChecker:
        up on every range it owns plus writes accepted meanwhile), and
        its restored ring must contain the shard.  A route to a
        ``RECOVERING`` shard is flagged as a read below the watermark.
+    8. **Vnode-migration discipline** — ``migrate_start`` requires a
+       ``HEALTHY`` recipient with no migration already in flight and
+       live donors distinct from it; ``migrate_batch`` shares the
+       transfer watermark rules (monotone, never past a never-shrinking
+       target) and requires the recipient to still be ``HEALTHY`` —
+       unlike recovery, both ends of a rebalance serve live traffic
+       throughout; ``migrate_cutover`` is legal only at
+       ``watermark == target`` (flipping token ownership earlier would
+       leave the moved ranges' keys unroutable to their data mid-move);
+       ``migrate_abort`` closes an open migration with no status
+       requirement (any membership transition is a sanctioned trigger).
 
     Like :class:`RfpInvariantChecker`, violations are collected by
     default; ``halt_on_violation=True`` raises at the exact simulated
@@ -475,6 +486,8 @@ class ClusterInvariantChecker:
         self.routes_per_shard: Dict[str, int] = {}
         #: Last seen (watermark, target) per RECOVERING shard.
         self._transfer_progress: Dict[str, Tuple[int, int]] = {}
+        #: Last seen (watermark, target) per vnode-migration recipient.
+        self._migrations: Dict[str, Tuple[int, int]] = {}
         self._handlers: Dict[str, Callable[[TraceEvent], None]] = {
             "route": self._on_route,
             "suspect": self._on_suspect,
@@ -487,6 +500,10 @@ class ClusterInvariantChecker:
             "transfer_replan": self._on_transfer_replan,
             "handoff": self._on_handoff,
             "transfer_abort": self._on_transfer_abort,
+            "migrate_start": self._on_migrate_start,
+            "migrate_batch": self._on_migrate_batch,
+            "migrate_cutover": self._on_migrate_cutover,
+            "migrate_abort": self._on_migrate_abort,
         }
 
     # ------------------------------------------------------------------
@@ -613,6 +630,60 @@ class ClusterInvariantChecker:
         self._status[shard] = self._RECOVERING
         self._transfer_progress[shard] = (0, 0)
 
+    def _check_donor(
+        self, event: TraceEvent, what: str, shard: str, donor: str
+    ) -> None:
+        """Shared donor rule for recovery transfers and vnode moves."""
+        if donor == shard:
+            self._violate(
+                event, f"shard {shard!r} cannot donate ranges to itself"
+            )
+        elif self._state(donor) not in (self._HEALTHY, self._SUSPECT):
+            # SUSPECT is a reversible hint (one op timeout under load
+            # heals on the next beat); a suspected donor still owns its
+            # ranges and donates legally.  DEAD/RECOVERING cannot.
+            self._violate(
+                event,
+                f"{what} donor {donor!r} is {self._state(donor)} "
+                "(only live shards donate)",
+            )
+
+    def _advance_progress(
+        self,
+        event: TraceEvent,
+        table: Dict[str, Tuple[int, int]],
+        what: str,
+        shard: str,
+        watermark: int,
+        target: int,
+    ) -> None:
+        """Shared monotone-watermark rule for both migration clients.
+
+        The target may *grow* between batches (catch-up writes extend
+        the plan) but can never shrink — keys don't un-own themselves —
+        and the watermark only advances, never past the target.
+        """
+        last_watermark, last_target = table.get(shard, (0, 0))
+        if target < last_target:
+            self._violate(
+                event,
+                f"{what} target for {shard!r} shrank "
+                f"{last_target} -> {target}",
+            )
+        if watermark < last_watermark:
+            self._violate(
+                event,
+                f"{what} watermark for {shard!r} regressed "
+                f"{last_watermark} -> {watermark}",
+            )
+        if watermark > target:
+            self._violate(
+                event,
+                f"{what} watermark for {shard!r} overflows its target "
+                f"({watermark} > {target})",
+            )
+        table[shard] = (watermark, target)
+
     def _on_transfer(self, event: TraceEvent) -> None:
         shard = event.data["shard"]
         donor = event.data.get("donor", "")
@@ -624,41 +695,10 @@ class ClusterInvariantChecker:
                 event,
                 f"transfer batch for shard {shard!r} while it is {status}",
             )
-        if donor == shard:
-            self._violate(
-                event, f"shard {shard!r} cannot donate ranges to itself"
-            )
-        elif self._state(donor) not in (self._HEALTHY, self._SUSPECT):
-            # SUSPECT is a reversible hint (one op timeout under load
-            # heals on the next beat); a suspected donor still owns its
-            # ranges and donates legally.  DEAD/RECOVERING cannot.
-            self._violate(
-                event,
-                f"transfer donor {donor!r} is {self._state(donor)} "
-                "(only live shards donate)",
-            )
-        last_watermark, last_target = self._transfer_progress.get(shard, (0, 0))
-        # The target may *grow* between batches (catch-up writes extend
-        # the plan) but can never shrink — keys don't un-own themselves.
-        if target < last_target:
-            self._violate(
-                event,
-                f"transfer target for {shard!r} shrank "
-                f"{last_target} -> {target}",
-            )
-        if watermark < last_watermark:
-            self._violate(
-                event,
-                f"transfer watermark for {shard!r} regressed "
-                f"{last_watermark} -> {watermark}",
-            )
-        if watermark > target:
-            self._violate(
-                event,
-                f"transfer watermark for {shard!r} overflows its target "
-                f"({watermark} > {target})",
-            )
-        self._transfer_progress[shard] = (watermark, target)
+        self._check_donor(event, "transfer", shard, donor)
+        self._advance_progress(
+            event, self._transfer_progress, "transfer", shard, watermark, target
+        )
 
     def _on_transfer_replan(self, event: TraceEvent) -> None:
         shard = event.data["shard"]
@@ -719,6 +759,89 @@ class ClusterInvariantChecker:
                 f"{status} (aborts follow a re-declared death)",
             )
         self._transfer_progress.pop(shard, None)
+
+    def _on_migrate_start(self, event: TraceEvent) -> None:
+        shard = event.data["shard"]
+        donors = [s for s in event.data.get("donors", "").split(",") if s]
+        target = int(event.data.get("target", 0))
+        status = self._state(shard)
+        if status != self._HEALTHY:
+            self._violate(
+                event,
+                f"vnode migration onto shard {shard!r} while it is {status} "
+                "(rebalancing only moves ranges between healthy shards)",
+            )
+        if shard in self._migrations:
+            self._violate(
+                event,
+                f"second vnode migration onto {shard!r} while one is open",
+            )
+        for donor in donors:
+            self._check_donor(event, "migration", shard, donor)
+        self._migrations[shard] = (0, target)
+
+    def _on_migrate_batch(self, event: TraceEvent) -> None:
+        shard = event.data["shard"]
+        donor = event.data.get("donor", "")
+        watermark = int(event.data.get("watermark", 0))
+        target = int(event.data.get("target", 0))
+        if shard not in self._migrations:
+            self._violate(
+                event,
+                f"migration batch for {shard!r} without a migrate_start",
+            )
+        status = self._state(shard)
+        if status != self._HEALTHY:
+            # Unlike a RECOVERING rejoiner, a rebalance recipient keeps
+            # serving its existing ranges throughout the move.
+            self._violate(
+                event,
+                f"migration batch onto shard {shard!r} while it is {status}",
+            )
+        self._check_donor(event, "migration", shard, donor)
+        self._advance_progress(
+            event, self._migrations, "migration", shard, watermark, target
+        )
+
+    def _on_migrate_cutover(self, event: TraceEvent) -> None:
+        shard = event.data["shard"]
+        watermark = int(event.data.get("watermark", 0))
+        target = int(event.data.get("target", 0))
+        if shard not in self._migrations:
+            self._violate(
+                event,
+                f"migration cutover for {shard!r} without a migrate_start",
+            )
+        status = self._state(shard)
+        if status != self._HEALTHY:
+            self._violate(
+                event,
+                f"migration cutover onto shard {shard!r} while it is {status}",
+            )
+        if watermark != target:
+            # The no-key-unroutable-mid-move invariant: flipping token
+            # ownership before every moved range is resident would route
+            # reads to a shard that does not hold the data yet.
+            self._violate(
+                event,
+                f"migration cutover for shard {shard!r} below its "
+                f"watermark ({watermark}/{target} keys transferred)",
+            )
+        self._migrations.pop(shard, None)
+
+    def _on_migrate_abort(self, event: TraceEvent) -> None:
+        shard = event.data["shard"]
+        # Unlike a recovery abort (legal only after a re-declared
+        # death), *any* membership transition sanctions a vnode-move
+        # abort — the move is pure optimization and always yields to
+        # the correctness machinery — so no status is required.  The
+        # ring was never touched; donors keep ownership.
+        if shard not in self._migrations:
+            self._violate(
+                event,
+                f"migration abort for {shard!r} without a migrate_start",
+            )
+        self._migrations.pop(shard, None)
 
     # ------------------------------------------------------------------
     # Post-run checks

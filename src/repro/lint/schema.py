@@ -217,6 +217,35 @@ TRACE_SCHEMA: Dict[str, Dict[str, PhaseSpec]] = {
             _fs("shard", "watermark", "target"),
             description="Recovery abandoned (shard died again mid-stream).",
         ),
+        PhaseSpec(
+            "migrate_start",
+            _fs("shard", "donors", "vnodes", "target"),
+            description="Vnode migration planned: shard = recipient.",
+        ),
+        PhaseSpec(
+            "migrate_batch",
+            _fs("shard", "donor", "keys", "bytes", "watermark", "target"),
+            description="One vnode-migration batch streamed from a donor.",
+        ),
+        PhaseSpec(
+            "migrate_cutover",
+            _fs("shard", "donors", "vnodes", "watermark", "target"),
+            description="Atomic token-ownership flip onto the recipient.",
+        ),
+        PhaseSpec(
+            "migrate_abort",
+            _fs("shard", "watermark", "target"),
+            description="Vnode migration abandoned (membership changed).",
+        ),
+        PhaseSpec(
+            "rebalance_pick",
+            _fs("hot", "cold", "vnodes", "imbalance"),
+            checked=False,
+            description=(
+                "Rebalance controller decision (diagnostic; the "
+                "migrate_* phases it triggers are the checked ones)."
+            ),
+        ),
     ),
 }
 

@@ -10,11 +10,15 @@ exact, vectorizable, and deterministic given a generator.
 
 from __future__ import annotations
 
+from typing import Callable, List, Sequence, TypeVar
+
 import numpy as np
 
 from repro.errors import WorkloadError
 
-__all__ = ["ZipfSampler"]
+__all__ = ["ZipfSampler", "pin_hot_ranks"]
+
+K = TypeVar("K")
 
 
 class ZipfSampler:
@@ -47,3 +51,36 @@ class ZipfSampler:
         """How much hotter the top key is than the average key — the
         paper quotes ~1e5 for Zipf(.99) over its population."""
         return self.probability(0) * self.population
+
+
+def pin_hot_ranks(
+    keys: Sequence[K],
+    owner_of: Callable[[K], str],
+    shard: str,
+    hot_ranks: int,
+) -> List[K]:
+    """Rotate ``keys`` so the ``hot_ranks`` hottest Zipf ranks land on
+    ``shard``.
+
+    A :class:`ZipfSampler` draws *ranks*; which shard gets hammered
+    depends on which keys sit at the low ranks.  This helper pins that
+    choice deterministically: it stably reorders ``keys`` so positions
+    ``0..hot_ranks-1`` (the hot set) are all keys ``owner_of`` places on
+    ``shard``, with every other key following in original order.  Used
+    to set up the skew scenario for the rebalance bench — and for any
+    future antagonist workload that needs a tenant's hot set aimed at a
+    single shard — without inventing new keys or touching the hash ring.
+
+    ``owner_of`` is typically ``ring.lookup``; raises if the shard does
+    not own at least ``hot_ranks`` of the given keys.
+    """
+    if hot_ranks < 1:
+        raise WorkloadError(f"hot_ranks must be >= 1, got {hot_ranks}")
+    hot = [key for key in keys if owner_of(key) == shard]
+    if len(hot) < hot_ranks:
+        raise WorkloadError(
+            f"shard {shard!r} owns only {len(hot)} of {len(keys)} keys, "
+            f"cannot pin {hot_ranks} hot ranks onto it"
+        )
+    cold = [key for key in keys if owner_of(key) != shard]
+    return hot[:hot_ranks] + cold + hot[hot_ranks:]

@@ -34,7 +34,7 @@ class TestRegistry:
             "fig19", "fig20", "tab1", "tab3", "params",
             "ablation-symmetric", "ext-multiserver",
             "ext-cluster-scaling", "ext-cluster-failover",
-            "ext-cluster-rejoin",
+            "ext-cluster-rejoin", "ext-cluster-rebalance",
             "ext-ud-rpc", "ext-lock-bypass", "breakdown",
         }
         assert expected == set(EXPERIMENTS)

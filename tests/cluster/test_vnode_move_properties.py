@@ -1,0 +1,91 @@
+"""Property: one vnode move remaps exactly that vnode's range.
+
+The remap-minimality the ring already guarantees for whole-shard
+membership (property suite) must hold for vnode surgery too — it is
+what makes live rebalancing safe to reason about: moving one token
+changes the primary of precisely the keys hashing into that token's
+range, from the token's old owner to its new one, and *nothing else*.
+Moving the token back restores the ring's token table exactly.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.ring import HashRing
+
+KEYS = [b"key%05d" % i for i in range(400)]
+
+node_counts = st.integers(min_value=2, max_value=5)
+vnode_counts = st.sampled_from([8, 32, 64])
+picks = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+def build(node_count, vnodes):
+    return HashRing([f"s{i}" for i in range(node_count)], vnodes=vnodes)
+
+
+class TestSingleMoveMinimality:
+    @settings(max_examples=40, deadline=None)
+    @given(node_counts, vnode_counts, picks)
+    def test_only_the_moved_range_changes_primary(self, node_count, vnodes, pick):
+        ring = build(node_count, vnodes)
+        tokens = [token for token, _ in ring._tokens]
+        token = tokens[pick % len(tokens)]
+        donor = ring.owner_of(token)
+        others = sorted(set(ring.nodes) - {donor})
+        recipient = others[pick % len(others)]
+        before = {key: ring.lookup(key) for key in KEYS}
+        before_token = {key: ring.token_of(key) for key in KEYS}
+
+        moved = ring.with_vnodes_moved({token: recipient})
+        for key in KEYS:
+            after = moved.lookup(key)
+            if before_token[key] == token:
+                # Every key of the moved range came from the donor and
+                # lands on the recipient — nowhere else.
+                assert before[key] == donor
+                assert after == recipient
+            else:
+                assert after == before[key], key
+            # The owning token itself never changes: surgery reassigns
+            # ownership, not the circle's geometry.
+            assert moved.token_of(key) == before_token[key]
+
+    @settings(max_examples=40, deadline=None)
+    @given(node_counts, vnode_counts, picks)
+    def test_moving_back_restores_the_ring_exactly(self, node_count, vnodes, pick):
+        ring = build(node_count, vnodes)
+        tokens = [token for token, _ in ring._tokens]
+        token = tokens[pick % len(tokens)]
+        donor = ring.owner_of(token)
+        others = sorted(set(ring.nodes) - {donor})
+        recipient = others[pick % len(others)]
+        moved = ring.with_vnodes_moved({token: recipient})
+        assert moved.owner_of(token) == recipient
+        assert ring.owner_of(token) == donor  # the original is untouched
+        restored = moved.with_vnodes_moved({token: donor})
+        assert restored._tokens == ring._tokens
+        for key in KEYS:
+            assert restored.lookup(key) == ring.lookup(key)
+
+    @settings(max_examples=25, deadline=None)
+    @given(node_counts, vnode_counts, picks)
+    def test_in_place_move_matches_the_copy(self, node_count, vnodes, pick):
+        """``move_vnode`` (the cutover primitive, with its caches) and
+        ``with_vnodes_moved`` (the planning copy) agree exactly."""
+        ring = build(node_count, vnodes)
+        tokens = [token for token, _ in ring._tokens]
+        token = tokens[pick % len(tokens)]
+        donor = ring.owner_of(token)
+        others = sorted(set(ring.nodes) - {donor})
+        recipient = others[pick % len(others)]
+        copy = ring.with_vnodes_moved({token: recipient})
+        # Warm the caches first so the move must invalidate them.
+        for key in KEYS[:50]:
+            ring.lookup(key)
+            ring.token_of(key)
+        ring.move_vnode(token, recipient)
+        assert ring._tokens == copy._tokens
+        for key in KEYS:
+            assert ring.lookup(key) == copy.lookup(key)
+            assert ring.token_of(key) == copy.token_of(key)

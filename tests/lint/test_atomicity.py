@@ -237,9 +237,13 @@ class TestRepoAnnotations:
             "FailoverCoordinator.reinstate",
             "Membership.promote",
             "Membership._transition",
-            "RecoveryCoordinator.note_write",
+            "RangeMigration.note_write",
+            "RangeMigration._replan",
+            "RangeMigration._finish_aborted",
+            "RecoveryCoordinator._on_status_change",
             "RecoveryCoordinator._handoff",
-            "RecoveryCoordinator._finish_aborted",
+            "VnodeMigration._on_status_change",
+            "VnodeMigration._cutover",
             "RfpCluster.kill",
         ):
             assert expected in declared, f"missing atomic annotation: {expected}"

@@ -56,7 +56,7 @@ def test_cluster_package_is_covered_by_discovery():
     # The recovery subsystem's modules are where nondeterminism would be
     # easiest to smuggle in (wall-clock pacing, random batch orders), so
     # pin them by name rather than trusting the directory listing alone.
-    for name in ("recovery.py", "faults.py"):
+    for name in ("recovery.py", "migration.py", "faults.py"):
         assert os.path.join(cluster_dir, name) in discovered, name
 
 
@@ -107,6 +107,7 @@ def test_cluster_atomic_regions_are_declared_and_proven():
     ways: the runtime marker is on the bound callables, and the static
     call graph proves no transitive yield path out of any of them."""
     from repro.cluster import FailoverCoordinator, Membership, RfpCluster
+    from repro.cluster.migration import RangeMigration, VnodeMigration
     from repro.cluster.recovery import RecoveryCoordinator
     from repro.sim import is_atomic_section
 
@@ -115,11 +116,16 @@ def test_cluster_atomic_regions_are_declared_and_proven():
         FailoverCoordinator.reinstate,
         Membership._transition,
         Membership.promote,
-        RecoveryCoordinator._finish_aborted,
+        # The shared migration engine (recovery inherits all three).
+        RangeMigration._finish_aborted,
+        RangeMigration._replan,
+        RangeMigration.note_write,
         RecoveryCoordinator._handoff,
         RecoveryCoordinator._on_status_change,
-        RecoveryCoordinator._replan,
-        RecoveryCoordinator.note_write,
+        # The rebalance cutover: the token-ownership flip must be as
+        # atomic as the recovery handoff it generalizes.
+        VnodeMigration._cutover,
+        VnodeMigration._on_status_change,
         RfpCluster.kill,
         RfpCluster.note_put,
     ]
