@@ -26,6 +26,16 @@
   range-migration engine recovery uses.  Post-rebalance throughput
   must beat the no-rebalance baseline by >=1.5x with zero lost acked
   writes and donors in-bound-only throughout.
+- ``ext-txn-structures`` — the paper's Table 1 verdict applied to a
+  *data structure*: the same FIFO queue built with one-sided verbs
+  (client-driven FAA/CAS on the host's memory) and as an RFP-style
+  RPC service, swept over client contention, alongside RF=2 multi-key
+  transactions on the same fabric.  The one-sided build's per-op verb
+  count starts at ~3 and climbs with lost CAS races; the RPC build is
+  pinned at exactly 1 request per op — so past the paper's ~2-3
+  round-trip crossover the RPC queue wins outright, while the
+  transaction audit certifies zero torn groups and zero lost acked
+  writes under the full queue load.
 
 The experiments themselves are declared in :mod:`repro.exp.library` and
 measured by the shared ``cluster`` driver (topology build, tracing,
@@ -48,6 +58,7 @@ __all__ = [
     "run_ext_cluster_failover",
     "run_ext_cluster_rejoin",
     "run_ext_cluster_rebalance",
+    "run_ext_txn_structures",
 ]
 
 #: Columns shared by the two crash experiments' phase tables.
@@ -248,5 +259,116 @@ def run_ext_cluster_rebalance(scale: Scale) -> ExperimentResult:
             f"{rebalanced.metrics['catchup_keys']} catch-up); "
             f"{rebalanced.metrics['acked_keys']} acked keys audited, "
             f"{rebalanced.metrics['lost_acked_writes']} lost"
+        ),
+    )
+
+
+#: The paper's crossover budget: a one-sided design beats RPC only
+#: while it spends fewer remote round-trips than an RPC costs (~2-3,
+#: §2-§3); past that, amplification hands the win to the RPC build.
+_CROSSOVER_ROUND_TRIPS = 3.0
+
+
+def run_ext_txn_structures(scale: Scale) -> ExperimentResult:
+    """Multi-key transactions + the twice-built FIFO queue.
+
+    Every condition runs the same bounded transactional ledger (RF=2
+    multi-PUTs, one lock-contended group) next to one build of the
+    FIFO queue — ``structure=one-sided`` (client FAA/CAS verbs against
+    the host's memory) or ``structure=rfp`` (one RPC per op) — swept
+    over ``queue_clients``.  The driver's audits already certify the
+    hard claims (quiescence, conservation, host NIC in-bound-only,
+    zero torn groups, zero lost acked writes, zero leaked lock
+    leases); this wrapper enforces the headline *shape*: the RPC
+    build's per-op cost is flat at 1, the one-sided build's grows with
+    contention, and once it exceeds the ~3-round-trip crossover the
+    RPC queue's throughput wins outright.
+    """
+    spec, result = _run_exp_spec("ext-txn-structures", scale)
+    by_condition = {}
+    for outcome in result.outcomes:
+        settings = outcome.condition.settings
+        key = (str(settings["structure"]), int(settings["queue_clients"]))
+        by_condition[key] = outcome.metrics
+    counts = sorted({clients for _, clients in by_condition})
+
+    rows = [
+        [
+            structure,
+            clients,
+            _fmt(metrics["queue_mops"]),
+            _fmt(metrics["remote_ops_per_op"]),
+            metrics["cas_retries"],
+            _fmt(metrics["txn_mops"]),
+            metrics["txn_committed"],
+            metrics["txn_aborted"],
+            metrics["torn_groups"],
+            metrics["lost_acked_writes"],
+        ]
+        for (structure, clients), metrics in sorted(
+            by_condition.items(), key=lambda item: (item[0][1], item[0][0])
+        )
+    ]
+
+    for clients in counts:
+        # Integer form of "exactly 1 request per op, always".
+        metrics = by_condition[("rfp", clients)]
+        if metrics["queue_remote_ops"] != metrics["queue_ops"]:
+            raise BenchError(
+                f"RFP queue cost must be exactly 1 request/op at every "
+                f"contention level; saw {metrics['queue_remote_ops']} "
+                f"requests for {metrics['queue_ops']} ops at {clients} clients"
+            )
+    one_sided_costs = [
+        by_condition[("one-sided", clients)]["remote_ops_per_op"]
+        for clients in counts
+    ]
+    if one_sided_costs[-1] <= one_sided_costs[0]:
+        raise BenchError(
+            f"one-sided per-op verb count did not grow with contention: "
+            f"{one_sided_costs}"
+        )
+    top = counts[-1]
+    top_one_sided = by_condition[("one-sided", top)]
+    top_rfp = by_condition[("rfp", top)]
+    if top_one_sided["remote_ops_per_op"] <= _CROSSOVER_ROUND_TRIPS:
+        raise BenchError(
+            f"at {top} clients the one-sided build spent only "
+            f"{top_one_sided['remote_ops_per_op']:.2f} round-trips/op — "
+            f"never crossed the paper's ~{_CROSSOVER_ROUND_TRIPS:.0f} "
+            "round-trip budget"
+        )
+    if top_rfp["queue_mops"] <= top_one_sided["queue_mops"]:
+        raise BenchError(
+            f"past the crossover the RFP queue must win: "
+            f"{top_rfp['queue_mops']:.3f} vs "
+            f"{top_one_sided['queue_mops']:.3f} MOPS at {top} clients"
+        )
+    return ExperimentResult(
+        "ext-txn-structures",
+        spec.title,
+        [
+            "structure",
+            "queue_clients",
+            "queue_mops",
+            "remote_ops_per_op",
+            "cas_retries",
+            "txn_mops",
+            "txn_committed",
+            "txn_aborted",
+            "torn_groups",
+            "lost_acked_writes",
+        ],
+        rows,
+        paper_expectation=spec.paper_expectation,
+        observations=(
+            f"one-sided cost grew {one_sided_costs[0]:.2f} -> "
+            f"{one_sided_costs[-1]:.2f} round-trips/op over "
+            f"{counts[0]} -> {top} clients while RFP held 1.00; at "
+            f"{top} clients RFP wins "
+            f"{top_rfp['queue_mops']:.3f} vs "
+            f"{top_one_sided['queue_mops']:.3f} MOPS; "
+            f"{top_rfp['txn_committed']} txns committed with 0 torn "
+            "groups, 0 lost acked writes, 0 leaked leases"
         ),
     )

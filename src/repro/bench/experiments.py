@@ -81,6 +81,11 @@ def _register() -> Dict[str, Experiment]:
             cluster_runs.run_ext_cluster_rebalance,
         ),
         (
+            "ext-txn-structures",
+            "Cluster: txns + a FIFO queue built twice (verbs vs RPC)",
+            cluster_runs.run_ext_txn_structures,
+        ),
+        (
             "ext-ud-rpc",
             "Extension: HERD-style UC/UD RPC vs RC paradigms (§5)",
             extensions.run_ext_ud_rpc,

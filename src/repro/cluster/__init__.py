@@ -7,8 +7,10 @@ on shard death (:mod:`.failover`), a unified range-migration engine with
 live load-aware vnode rebalancing (:mod:`.migration`), recovery/rejoin
 range streaming built on it (:mod:`.recovery`), deterministic fault
 injection (:mod:`.faults`), client-side routing with per-shard (R, F)
-adaptation (:mod:`.router`), and per-shard instruments
-(:mod:`.metrics`).  See ``docs/cluster.md`` for the design.
+adaptation (:mod:`.router`), multi-key atomic transactions
+(:mod:`.txn`), twice-built distributed data structures
+(:mod:`.structures`), and per-shard instruments (:mod:`.metrics`).
+See ``docs/cluster.md`` for the design.
 """
 
 from repro.cluster.failover import FailoverCoordinator, FailoverEvent, ReinstateEvent
@@ -26,6 +28,8 @@ from repro.cluster.migration import (
 from repro.cluster.recovery import RecoveryConfig, RecoveryCoordinator, RecoveryEvent
 from repro.cluster.ring import HashRing
 from repro.cluster.router import ClusterClient, ClusterConfig, RfpCluster, ShardHandle
+from repro.cluster.structures import OneSidedQueue, QueueRegion, RfpQueue, RfpQueueClient
+from repro.cluster.txn import TxnConfig, TxnManager
 
 __all__ = [
     "HashRing",
@@ -51,4 +55,10 @@ __all__ = [
     "ShardHandle",
     "RfpCluster",
     "ClusterClient",
+    "TxnConfig",
+    "TxnManager",
+    "QueueRegion",
+    "OneSidedQueue",
+    "RfpQueue",
+    "RfpQueueClient",
 ]

@@ -364,6 +364,40 @@ class RangeMigration:
             if self._replan_needed:
                 plan = self._replan()
                 continue
+            txns = self.service.txns
+            if txns.active_count:
+                # Open multi-key transactions hold lock leases and
+                # staged replica sets computed against the current ring;
+                # flipping ownership under them would let a commit
+                # validate against stale participants.  Gate admission
+                # and drain the open ones — they are lease-bounded —
+                # unless an abort, halt, or replan fires first and wins
+                # as usual.  (Zero open transactions means zero yields
+                # here: the quiet path is schedule-identical to the
+                # pre-txn engine.)
+                txns.begin_drain()
+                try:
+                    while txns.active_count and not (
+                        self._aborted or self._halted or self._replan_needed
+                    ):
+                        yield self.sim.timeout(
+                            self.service.config.heartbeat_interval_us
+                        )
+                finally:
+                    txns.end_drain()
+                if self._aborted:
+                    self._finish_aborted()
+                    return
+                if self._halted:
+                    while not self._aborted:
+                        yield self.sim.timeout(
+                            self.service.config.heartbeat_interval_us
+                        )
+                    self._finish_aborted()
+                    return
+            if self._replan_needed:
+                plan = self._replan()
+                continue
             self._cutover()
             return
 

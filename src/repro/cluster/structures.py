@@ -1,0 +1,374 @@
+"""One distributed FIFO queue, built twice — the papers' comparison.
+
+Storm (fast transactional dataplane) and Brock et al. ("RDMA vs. RPC
+for Implementing Distributed Data Structures") both stage the same
+contest our simulated RNIC asymmetry was built to decide: implement one
+structure with client-driven one-sided verbs, implement it again behind
+a server RPC, and watch the one-sided version lose as soon as per-op
+remote round-trips exceed the paper's crossover (~3 one-sided verbs buy
+one RPC — Table 1's amplification argument).
+
+- :class:`QueueRegion` + :class:`OneSidedQueue`: the server hosts a
+  passive ring of slots behind a ``head``/``tail`` header; clients run
+  the whole protocol with verbs.  An enqueue is FAA(tail) to claim a
+  slot, a payload write, and a ready-flag write — 3 verbs flat.  A
+  dequeue is a header read, a CAS(head) to claim, and a slot read that
+  may have to poll a not-yet-ready writer — 3 verbs *uncontended*, and
+  every lost CAS race or early poll adds more.  Contention makes the
+  amplification grow, which is exactly the crossover knob.
+- :class:`RfpQueue` + :class:`RfpQueueClient`: the queue lives in server
+  memory behind ENQUEUE/DEQUEUE RPC stubs on an
+  :class:`~repro.core.server.RfpServer` — one request per logical op no
+  matter how contended, with the §3.2 hybrid rule (remote fetch while
+  responses are prompt) keeping the server's NIC in-bound-only.
+"""
+
+from __future__ import annotations
+
+import struct
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Generator, Optional, Tuple
+
+from repro.core.client import RfpClient
+from repro.core.config import RfpConfig
+from repro.core.rpc import RpcClient, RpcServer
+from repro.core.server import RequestContext, RfpServer
+from repro.errors import KVError
+from repro.hw.cluster import Cluster
+from repro.hw.machine import Machine
+from repro.sim.core import Simulator
+from repro.sim.monitor import Counter
+
+__all__ = [
+    "QueueRegion",
+    "OneSidedQueue",
+    "RfpQueue",
+    "RfpQueueClient",
+    "QueueStats",
+]
+
+#: Queue header: ``head u64 | tail u64``.
+_HEADER = struct.Struct("<QQ")
+_HEAD_OFFSET = 0
+_TAIL_OFFSET = 8
+
+#: Per-slot status word: 0 = not ready, else item length + 1.
+_STATUS = struct.Struct("<Q")
+
+#: RPC function ids on the queue's dedicated dispatcher.
+ENQUEUE_FUNCTION = 1
+DEQUEUE_FUNCTION = 2
+
+#: App-level statuses for the RPC build.
+QUEUE_OK = 0
+QUEUE_EMPTY = 1
+
+
+def _pad8(n: int) -> int:
+    return (n + 7) & ~7
+
+
+@dataclass
+class QueueStats:
+    """Shared shape for both builds, so benches compare like with like."""
+
+    enqueues: Counter = field(default_factory=lambda: Counter("enqueues"))
+    dequeues: Counter = field(default_factory=lambda: Counter("dequeues"))
+    empties: Counter = field(default_factory=lambda: Counter("empties"))
+    #: One-sided: verbs posted.  RPC: requests sent.
+    remote_ops: Counter = field(default_factory=lambda: Counter("remote_ops"))
+    cas_retries: Counter = field(default_factory=lambda: Counter("cas_retries"))
+    ready_polls: Counter = field(default_factory=lambda: Counter("ready_polls"))
+
+    @property
+    def ops(self) -> int:
+        return self.enqueues.value + self.dequeues.value + self.empties.value
+
+    def remote_ops_per_op(self) -> float:
+        """Round-trips per logical operation — the crossover axis."""
+        return self.remote_ops.value / self.ops if self.ops else 0.0
+
+
+class QueueRegion:
+    """The one-sided build's passive host: a slot ring behind a header.
+
+    The host CPU serves nothing — it registers the region and steps
+    aside, the design whose cost §2.3 tallies.  Slots are single-epoch:
+    a claim index past ``capacity`` raises instead of silently wrapping
+    onto an unreclaimed slot, so a run must size ``capacity`` above its
+    total enqueue count.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cluster: Cluster,
+        machine: Optional[Machine] = None,
+        capacity: int = 65536,
+        max_item_bytes: int = 64,
+        name: str = "osq",
+    ) -> None:
+        self.sim = sim
+        self.cluster = cluster
+        self.machine = machine if machine is not None else cluster.server
+        self.capacity = capacity
+        self.max_item_bytes = max_item_bytes
+        self.slot_bytes = _pad8(_STATUS.size + max_item_bytes)
+        self.name = name
+        self.region = self.machine.register_memory(
+            _HEADER.size + capacity * self.slot_bytes, name=f"{name}.ring"
+        )
+        self.region.write_local(0, _HEADER.pack(0, 0))
+        self._next_client = 0
+
+    def slot_offset(self, index: int) -> int:
+        return _HEADER.size + index * self.slot_bytes
+
+    def snapshot(self) -> Tuple[int, int]:
+        """Host-side (head, tail) readout — verification only."""
+        head, tail = _HEADER.unpack(self.region.read_local(0, _HEADER.size))
+        return head, tail
+
+    def peek_slot(self, index: int) -> Optional[bytes]:
+        """Host-side slot readout — verification only."""
+        raw = self.region.read_local(self.slot_offset(index), self.slot_bytes)
+        (status,) = _STATUS.unpack_from(raw)
+        if status == 0:
+            return None
+        return raw[_STATUS.size : _STATUS.size + status - 1]
+
+    def connect(self, machine: Machine, name: str = "") -> "OneSidedQueue":
+        self._next_client += 1
+        return OneSidedQueue(
+            self.sim, machine, self, client_id=self._next_client, name=name
+        )
+
+
+class OneSidedQueue:
+    """Client-driven FIFO endpoint: every op is verbs, no server cycles.
+
+    Enqueue: FAA(tail) claims a slot in global order, a write lands the
+    payload, a second write flips the slot's status word ready (the word
+    is the release fence — a dequeuer never reads a half-written item).
+    Dequeue: read the header, return ``None`` on empty (a legitimate
+    linearizable outcome at the read's instant), otherwise CAS
+    ``head -> head+1`` to claim the front slot and read it, polling
+    until its writer's ready word lands.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        machine: Machine,
+        host: QueueRegion,
+        client_id: int,
+        post_cpu_us: float = 0.15,
+        max_claim_attempts: int = 512,
+        max_ready_polls: int = 512,
+        name: str = "",
+    ) -> None:
+        self.sim = sim
+        self.machine = machine
+        self.host = host
+        self.client_id = client_id
+        self.post_cpu_us = post_cpu_us
+        self.max_claim_attempts = max_claim_attempts
+        self.max_ready_polls = max_ready_polls
+        self.name = name or f"osq-client{client_id}@{machine.name}"
+        self.stats = QueueStats()
+        self.endpoint, _ = host.cluster.connect(machine, host.machine)
+        self._landing = machine.register_memory(
+            host.slot_bytes, name=f"{self.name}.landing"
+        )
+        machine.rnic.register_issuer()
+
+    def enqueue(self, item: bytes) -> Generator:
+        """Process body: claim, write payload, publish ready — 3 verbs."""
+        sim = self.sim
+        host = self.host
+        if len(item) > host.max_item_bytes:
+            raise KVError(f"item of {len(item)} B > {host.max_item_bytes} B")
+        yield sim.timeout(self.post_cpu_us)
+        claim = yield self.endpoint.post_atomic_faa(host.region, _TAIL_OFFSET, 1)
+        self.stats.remote_ops.increment()
+        if claim >= host.capacity:
+            raise KVError(f"{host.name}: slot ring exhausted at {claim}")
+        offset = host.slot_offset(int(claim))
+        body = item.ljust(host.max_item_bytes, b"\x00")
+        self._landing.write_local(0, _STATUS.pack(len(item) + 1) + body)
+        yield sim.timeout(self.post_cpu_us)
+        yield self.endpoint.post_write(
+            self._landing, _STATUS.size, host.region, offset + _STATUS.size, len(body)
+        )
+        self.stats.remote_ops.increment()
+        yield sim.timeout(self.post_cpu_us)
+        yield self.endpoint.post_write(
+            self._landing, 0, host.region, offset, _STATUS.size
+        )
+        self.stats.remote_ops.increment()
+        self.stats.enqueues.increment()
+        return int(claim)
+
+    def dequeue(self) -> Generator:
+        """Process body: returns the front item, or ``None`` when empty.
+
+        3 verbs when uncontended; every lost CAS race re-reads the
+        header and re-swaps, every claimed-but-unpublished slot costs
+        ready polls — the amplification that hands the RPC build the win
+        under contention.
+        """
+        sim = self.sim
+        host = self.host
+        for _attempt in range(self.max_claim_attempts):
+            yield sim.timeout(self.post_cpu_us)
+            yield self.endpoint.post_read(
+                self._landing, 0, host.region, _HEAD_OFFSET, _HEADER.size
+            )
+            self.stats.remote_ops.increment()
+            head, tail = _HEADER.unpack(self._landing.read_local(0, _HEADER.size))
+            if head == tail:
+                self.stats.empties.increment()
+                return None
+            yield sim.timeout(self.post_cpu_us)
+            original = yield self.endpoint.post_atomic_cas(
+                host.region, _HEAD_OFFSET, head, head + 1
+            )
+            self.stats.remote_ops.increment()
+            if original != head:
+                self.stats.cas_retries.increment()
+                continue
+            offset = host.slot_offset(head)
+            for _poll in range(self.max_ready_polls):
+                yield sim.timeout(self.post_cpu_us)
+                yield self.endpoint.post_read(
+                    self._landing, 0, host.region, offset, host.slot_bytes
+                )
+                self.stats.remote_ops.increment()
+                (status,) = _STATUS.unpack_from(self._landing.read_local(0, _STATUS.size))
+                if status:
+                    value = self._landing.read_local(_STATUS.size, status - 1)
+                    self.stats.dequeues.increment()
+                    return value
+                self.stats.ready_polls.increment()
+            raise KVError(f"{self.name}: slot {head} never became ready")
+        raise KVError(f"{self.name}: dequeue CAS livelocked")
+
+
+class RfpQueue:
+    """The RPC build: queue state in server memory behind two stubs.
+
+    One :class:`~repro.core.server.RfpServer` thread owns the deque, so
+    no locking is ever needed (the EREW argument) and every client op is
+    exactly one request; under the hybrid rule the server stays
+    in-bound-only while responses are prompt.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cluster: Cluster,
+        machine: Optional[Machine] = None,
+        config: Optional[RfpConfig] = None,
+        process_us: float = 0.2,
+        name: str = "rfpq",
+        tracer=None,
+    ) -> None:
+        self.sim = sim
+        self.cluster = cluster
+        self.machine = machine if machine is not None else cluster.server
+        self.config = config if config is not None else RfpConfig()
+        self.process_us = process_us
+        self.name = name
+        self.tracer = tracer
+        self.items: Deque[bytes] = deque()
+        rpc = RpcServer()
+        rpc.register(ENQUEUE_FUNCTION, self._handle_enqueue)
+        rpc.register(DEQUEUE_FUNCTION, self._handle_dequeue)
+        self.rpc = rpc
+        self.server = RfpServer(
+            sim, cluster, self.machine, rpc.handle, 1, self.config, name,
+            tracer=tracer,
+        )
+
+    def _handle_enqueue(
+        self, arguments: bytes, context: RequestContext
+    ) -> Tuple[int, bytes, float]:
+        self.items.append(arguments)
+        return QUEUE_OK, b"", self.process_us
+
+    def _handle_dequeue(
+        self, arguments: bytes, context: RequestContext
+    ) -> Tuple[int, bytes, float]:
+        if not self.items:
+            return QUEUE_EMPTY, b"", self.process_us
+        return QUEUE_OK, self.items.popleft(), self.process_us
+
+    def connect(
+        self,
+        machine: Machine,
+        name: str = "",
+        register_issuer: bool = True,
+        config: Optional[RfpConfig] = None,
+    ) -> "RfpQueueClient":
+        return RfpQueueClient(
+            self.sim,
+            machine,
+            self,
+            name=name,
+            register_issuer=register_issuer,
+            config=config,
+        )
+
+
+class RfpQueueClient:
+    """One client thread of the RPC build: one transport, one op = one RPC."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        machine: Machine,
+        queue: RfpQueue,
+        name: str = "",
+        register_issuer: bool = True,
+        config: Optional[RfpConfig] = None,
+    ) -> None:
+        self.sim = sim
+        self.machine = machine
+        self.queue = queue
+        self.name = name or f"rfpq-client@{machine.name}"
+        self.stats = QueueStats()
+        if register_issuer:
+            machine.rnic.register_issuer()
+        transport = RfpClient(
+            sim,
+            machine,
+            queue.server,
+            config=config,
+            name=f"{self.name}.p0",
+            thread_id=0,
+            register_issuer=False,
+            tracer=queue.tracer,
+        )
+        self.transport = RpcClient(transport)
+
+    def enqueue(self, item: bytes) -> Generator:
+        """Process body: one RPC."""
+        status, _ = yield from self.transport.call(ENQUEUE_FUNCTION, item)
+        self.stats.remote_ops.increment()
+        if status != QUEUE_OK:
+            raise KVError(f"enqueue failed with status {status}")
+        self.stats.enqueues.increment()
+        return None
+
+    def dequeue(self) -> Generator:
+        """Process body: one RPC; returns the item or ``None`` on empty."""
+        status, value = yield from self.transport.call(DEQUEUE_FUNCTION, b"")
+        self.stats.remote_ops.increment()
+        if status == QUEUE_EMPTY:
+            self.stats.empties.increment()
+            return None
+        if status != QUEUE_OK:
+            raise KVError(f"dequeue failed with status {status}")
+        self.stats.dequeues.increment()
+        return value

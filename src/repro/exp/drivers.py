@@ -6,7 +6,7 @@ a fresh simulator obtained through the
 *deterministic* metrics (simulated-time throughput, event counts, audit
 ledgers) — never wall-clock numbers.
 
-Four drivers cover the migrated benchmarks:
+Five drivers cover the migrated benchmarks:
 
 - ``raw-verbs`` — the §2.2 microbenchmarks: bare synchronous RDMA
   read/write loops (figs. 3-4).
@@ -22,6 +22,12 @@ Four drivers cover the migrated benchmarks:
   :class:`~repro.cluster.faults.FaultPlan`, and the failover/rejoin
   audit suites that raise :class:`~repro.errors.BenchError` on any
   breach (so a clean run *is* the certificate).
+- ``txn-structures`` — the ``ext-txn-structures`` crossover: a bounded
+  transactional multi-PUT ledger (RF=2, atomicity audited key-by-key
+  against every replica) running alongside the twice-built FIFO queue
+  (:class:`~repro.cluster.structures.OneSidedQueue` vs
+  :class:`~repro.cluster.structures.RfpQueue`), with conservation,
+  bypass/NIC, and zero-leaked-lease audits after full quiescence.
 """
 
 from __future__ import annotations
@@ -32,9 +38,16 @@ from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.bench.calibration import measure_inbound_iops, measure_outbound_iops
 from repro.bench.harness import run_controlled_process_time, run_kv
-from repro.cluster import ClusterConfig, FaultPlan, RebalanceConfig, RfpCluster
+from repro.cluster import (
+    ClusterConfig,
+    FaultPlan,
+    QueueRegion,
+    RebalanceConfig,
+    RfpCluster,
+    RfpQueue,
+)
 from repro.core.config import RfpConfig
-from repro.errors import BenchError, ExpError
+from repro.errors import BenchError, ClusterError, ExpError
 from repro.exp.runner import ConditionContext, Driver
 from repro.exp.spec import phases_of
 from repro.hw.cluster import build_cluster
@@ -671,9 +684,295 @@ def _audit_rebalance(state: _ClusterRun) -> Dict[str, object]:
     }
 
 
+# ----------------------------------------------------------------------
+# txn-structures: multi-key transactions + the twice-built FIFO queue
+# ----------------------------------------------------------------------
+
+
+def run_txn_structures(ctx: ConditionContext) -> Mapping[str, object]:
+    """One ``ext-txn-structures`` condition: bounded work, exact audits.
+
+    Unlike the open-loop cluster driver, every client here runs a
+    *bounded* script and the run must quiesce before the window closes.
+    That buys exact end-state audits with no window-cut races: every
+    acked multi-PUT sequence is the stored value on every replica
+    (zero partially-applied transactions, zero lost acked writes),
+    every enqueued item is dequeued exactly once (conservation), the
+    queue host posts zero out-bound verbs (both builds), and zero lock
+    leases survive the run.
+    """
+    condition = ctx.condition
+    topology = condition.topology
+    scale = condition.scale
+    settings = condition.settings
+    window = scale.window_us
+
+    structure = str(settings.get("structure", "one-sided"))
+    if structure not in ("one-sided", "rfp"):
+        raise ExpError(
+            f"txn-structures structure must be 'one-sided' or 'rfp', "
+            f"got {structure!r}"
+        )
+    queue_clients = int(settings.get("queue_clients", 4))
+    if queue_clients < 2:
+        raise ExpError("txn-structures needs >= 2 queue clients (1 per role)")
+    producers = queue_clients // 2
+    consumers = queue_clients - producers
+    # Total queue items: enough to expose CAS-contention amplification,
+    # few enough that the slowest condition still drains well inside the
+    # window (quiescence is asserted below).
+    total_items = int(settings.get("queue_items", 192)) * (4 if scale.full else 1)
+
+    sim = ctx.make_simulator()
+    cluster_spec = ClusterSpec(
+        machine=CLUSTER_EUROSYS17.machine,
+        machines=topology.machines,
+        switch_hop_us=CLUSTER_EUROSYS17.switch_hop_us,
+    )
+    cluster = build_cluster(sim, cluster_spec)
+    cluster_tracer = ctx.publish_tracer(
+        "cluster", Tracer(sim, categories=["cluster"]), "cluster"
+    )
+    # No faults in this experiment: an astronomically high slow-call
+    # threshold keeps the hybrid rule from degrading merely-busy shards,
+    # so the in-bound-only NIC audits stay exact.
+    quiet = RfpConfig(consecutive_slow_calls=1_000_000)
+    service = RfpCluster(
+        sim,
+        cluster,
+        shards=topology.shards,
+        rfp_config=quiet,
+        cost_model=StoreCostModel(jitter_probability=0.0),
+        cluster_config=ClusterConfig(
+            replication_factor=topology.replication_factor
+        ),
+        tracer=cluster_tracer,
+    )
+
+    # --- transactional ledger: disjoint groups + one contended group ---
+    value_bytes = condition.workload.value_bytes
+    txn_clients = topology.client_threads
+    group_count = int(settings.get("txn_groups", 8))
+    keys_per_group = int(settings.get("group_keys", 3))
+    txn_rounds = int(settings.get("txn_rounds", 32))
+    group_keys = [
+        [b"txng%02d-%02d" % (group, item) for item in range(keys_per_group)]
+        for group in range(group_count)
+    ]
+    for keys in group_keys:
+        service.preload([(key, _seq_value(0, value_bytes)) for key in keys])
+    shared_group = group_count - 1
+    acked: Dict[int, set] = {group: {0} for group in range(group_count)}
+    expected_final: Dict[int, int] = {group: 0 for group in range(group_count)}
+    finished: List[str] = []
+    done_box: Dict[str, float] = {"txn": 0.0, "queue": 0.0}
+
+    def txn_loop(client, client_id: int):
+        # Disjoint ownership by residue, plus clients 0 and 1 both
+        # writing the shared group — genuine cross-client lock
+        # contention on the headline path.
+        my_groups = [
+            group
+            for group in range(group_count)
+            if group % txn_clients == client_id
+        ]
+        if client_id in (0, 1) and shared_group not in my_groups:
+            my_groups.append(shared_group)
+        base = (client_id + 1) * 1_000_000
+        for round_no in range(txn_rounds):
+            group = my_groups[round_no % len(my_groups)]
+            sequence = base + round_no + 1
+            try:
+                yield from client.multi_put(
+                    [
+                        (key, _seq_value(sequence, value_bytes))
+                        for key in group_keys[group]
+                    ]
+                )
+            except ClusterError:
+                continue  # lock-contention abort: provably no effect
+            acked[group].add(sequence)
+            if group != shared_group:
+                expected_final[group] = sequence
+        finished.append(f"txn{client_id}")
+        done_box["txn"] = max(done_box["txn"], sim.now)
+
+    slot_start = (
+        topology.client_slot_start
+        if topology.client_slot_start is not None
+        else topology.shards + 1
+    )
+    for client_id in range(txn_clients):
+        machine = cluster.machines[slot_start + client_id % txn_clients]
+        client = service.connect(machine, name=f"t{client_id}")
+        sim.process(txn_loop(client, client_id))
+
+    # --- the twice-built FIFO queue ---------------------------------
+    host_machine = cluster.machines[topology.shards]
+    item_bytes = int(settings.get("queue_item_bytes", 16))
+    if structure == "one-sided":
+        region = QueueRegion(
+            sim,
+            cluster,
+            machine=host_machine,
+            capacity=int(settings.get("queue_capacity", 1 << 17)),
+            max_item_bytes=item_bytes,
+        )
+        connect_queue = region.connect
+        queue_residue = lambda: region.snapshot()[1] - region.snapshot()[0]
+    else:
+        rfp_queue = RfpQueue(sim, cluster, machine=host_machine, config=quiet)
+        connect_queue = rfp_queue.connect
+        queue_residue = lambda: len(rfp_queue.items)
+
+    queue_slot = slot_start + txn_clients
+    queue_span = topology.machines - queue_slot
+    queue_handles = [
+        connect_queue(
+            cluster.machines[queue_slot + index % queue_span], name=f"q{index}"
+        )
+        for index in range(queue_clients)
+    ]
+    per_producer = [
+        total_items // producers + (1 if p < total_items % producers else 0)
+        for p in range(producers)
+    ]
+    enqueued: List[bytes] = []
+    dequeued: List[bytes] = []
+    drained = {"count": 0}
+    backoff_us = float(settings.get("empty_backoff_us", 2.0))
+
+    def produce(queue, producer_id: int, count: int):
+        for item_no in range(count):
+            item = b"%02d:%08d" % (producer_id, item_no)
+            yield from queue.enqueue(item)
+            enqueued.append(item)
+        finished.append(f"prod{producer_id}")
+        done_box["queue"] = max(done_box["queue"], sim.now)
+
+    def consume(queue, consumer_id: int):
+        while drained["count"] < total_items:
+            value = yield from queue.dequeue()
+            if value is None:
+                yield sim.timeout(backoff_us)
+            else:
+                drained["count"] += 1
+                dequeued.append(value)
+        finished.append(f"cons{consumer_id}")
+        done_box["queue"] = max(done_box["queue"], sim.now)
+
+    for producer_id in range(producers):
+        sim.process(
+            produce(
+                queue_handles[producer_id],
+                producer_id,
+                per_producer[producer_id],
+            )
+        )
+    for consumer_id in range(consumers):
+        sim.process(consume(queue_handles[producers + consumer_id], consumer_id))
+
+    sim.run(until=window)
+
+    # --- quiescence, then exact audits ------------------------------
+    expected_done = txn_clients + producers + consumers
+    if len(finished) != expected_done:
+        raise BenchError(
+            f"run did not quiesce inside the {window}us window: "
+            f"{len(finished)}/{expected_done} client scripts finished "
+            f"({sorted(finished)})"
+        )
+    checker = ctx.checkers.get("cluster")
+    if checker is None:
+        raise ExpError(
+            "txn-structures audit needs the 'cluster' invariant checker — "
+            "run under an InvariantObserver (repro.exp.runner.default_observers)"
+        )
+    checker.assert_clean()
+    # Quiesced run: every transaction closed, so any surviving lease is
+    # a leak (the conftest gate's rule, enforced in the bench too).
+    checker.assert_no_leaked_leases()
+
+    torn_groups = 0
+    lost_acked = 0
+    for group, keys in enumerate(group_keys):
+        stored = {
+            service.peek(shard, key)
+            for key in keys
+            for shard in service.replicas_for(key)
+        }
+        if len(stored) != 1:
+            torn_groups += 1
+            continue
+        (value,) = stored
+        sequence = _stored_seq(value)
+        if sequence not in acked[group]:
+            lost_acked += 1
+        elif group != shared_group and sequence != expected_final[group]:
+            lost_acked += 1
+    if torn_groups:
+        raise BenchError(
+            f"{torn_groups} key groups are torn across keys/replicas — "
+            "a partially-applied multi-PUT escaped"
+        )
+    if lost_acked:
+        raise BenchError(
+            f"{lost_acked} key groups do not hold their last acked "
+            "transaction's value"
+        )
+
+    residue = queue_residue()
+    if sorted(dequeued) != sorted(enqueued) or residue != 0:
+        raise BenchError(
+            f"queue conservation broken: {len(enqueued)} enqueued, "
+            f"{len(dequeued)} dequeued, {residue} left in the ring"
+        )
+    # The bypass claim (one-sided) and the §3.2 in-bound-reply claim
+    # (RFP) agree on the observable: the host NIC posts nothing.
+    host_outbound = host_machine.rnic.outbound_ops
+    if host_outbound != 0:
+        raise BenchError(
+            f"queue host posted {host_outbound} out-bound verbs; both "
+            "builds must keep the host NIC in-bound-only"
+        )
+
+    queue_ops = sum(handle.stats.ops for handle in queue_handles)
+    remote_ops = sum(
+        handle.stats.remote_ops.value for handle in queue_handles
+    )
+    committed = service.txns.committed
+    queue_done = done_box["queue"]
+    txn_done = done_box["txn"]
+    return {
+        "queue_mops": 2 * total_items / max(queue_done, 1e-9),
+        "queue_done_us": queue_done,
+        "queue_items": total_items,
+        "queue_ops": queue_ops,
+        "queue_remote_ops": remote_ops,
+        "remote_ops_per_op": remote_ops / max(queue_ops, 1),
+        "cas_retries": sum(
+            handle.stats.cas_retries.value for handle in queue_handles
+        ),
+        "ready_polls": sum(
+            handle.stats.ready_polls.value for handle in queue_handles
+        ),
+        "empty_polls": sum(
+            handle.stats.empties.value for handle in queue_handles
+        ),
+        "txn_mops": committed / max(txn_done, 1e-9),
+        "txn_committed": committed,
+        "txn_aborted": service.txns.aborted,
+        "torn_groups": torn_groups,
+        "lost_acked_writes": lost_acked,
+        "acked_groups": group_count,
+        "dispatched": sim.dispatched,
+    }
+
+
 DRIVERS: Dict[str, Driver] = {
     "raw-verbs": run_raw_verbs,
     "paradigm": run_paradigm,
     "kv": run_kv_condition,
     "cluster": run_cluster,
+    "txn-structures": run_txn_structures,
 }

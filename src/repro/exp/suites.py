@@ -31,6 +31,7 @@ SUITES: Dict[str, Tuple[str, ...]] = {
         "ext-cluster-failover",
         "ext-cluster-rejoin",
         "ext-cluster-rebalance",
+        "ext-txn-structures",
     ),
 }
 

@@ -468,6 +468,16 @@ class ClusterInvariantChecker:
        leave the moved ranges' keys unroutable to their data mid-move);
        ``migrate_abort`` closes an open migration with no status
        requirement (any membership transition is a sanctioned trigger).
+    9. **Transaction discipline** — a ``txn_begin`` id is never reused;
+       ``txn_lock`` grants belong to an open transaction, never exceed
+       its declared key count, and arrive in strictly ascending key
+       order (the sorted-bytes acquisition order that makes deadlock
+       impossible — the hex encoding preserves it); ``txn_commit`` is
+       legal only when every declared key was locked
+       (commit-only-when-all-locked) and must report the same lock
+       count the trace granted; ``txn_abort`` closes an open
+       transaction.  Lock leases still open after a run are a leak —
+       :meth:`assert_no_leaked_leases` audits them at teardown.
 
     Like :class:`RfpInvariantChecker`, violations are collected by
     default; ``halt_on_violation=True`` raises at the exact simulated
@@ -488,6 +498,12 @@ class ClusterInvariantChecker:
         self._transfer_progress: Dict[str, Tuple[int, int]] = {}
         #: Last seen (watermark, target) per vnode-migration recipient.
         self._migrations: Dict[str, Tuple[int, int]] = {}
+        #: Open txn -> declared key count (from txn_begin).
+        self._txn_declared: Dict[int, int] = {}
+        #: Open txn -> hex keys locked so far, in grant order.
+        self._txn_locked: Dict[int, List[str]] = {}
+        #: Every txn id ever closed (commit or abort) — ids never recur.
+        self._txn_closed: set = set()
         self._handlers: Dict[str, Callable[[TraceEvent], None]] = {
             "route": self._on_route,
             "suspect": self._on_suspect,
@@ -504,6 +520,10 @@ class ClusterInvariantChecker:
             "migrate_batch": self._on_migrate_batch,
             "migrate_cutover": self._on_migrate_cutover,
             "migrate_abort": self._on_migrate_abort,
+            "txn_begin": self._on_txn_begin,
+            "txn_lock": self._on_txn_lock,
+            "txn_commit": self._on_txn_commit,
+            "txn_abort": self._on_txn_abort,
         }
 
     # ------------------------------------------------------------------
@@ -843,6 +863,76 @@ class ClusterInvariantChecker:
             )
         self._migrations.pop(shard, None)
 
+    def _on_txn_begin(self, event: TraceEvent) -> None:
+        txn = event.data["txn"]
+        if txn in self._txn_declared or txn in self._txn_closed:
+            self._violate(event, f"txn id {txn} reused")
+        self._txn_declared[txn] = event.data["keys"]
+        self._txn_locked[txn] = []
+
+    def _on_txn_lock(self, event: TraceEvent) -> None:
+        txn = event.data["txn"]
+        locked = self._txn_locked.get(txn)
+        if locked is None:
+            self._violate(event, f"lock granted to txn {txn} which is not open")
+            return
+        key = event.data["key"]
+        if locked and key <= locked[-1]:
+            # Hex is 2 chars/byte with a fixed digit order, so string
+            # comparison here is bytewise comparison of the raw keys.
+            self._violate(
+                event,
+                f"txn {txn} locked key {key} after {locked[-1]} — "
+                "deterministic (sorted-key) lock ordering violated",
+            )
+        locked.append(key)
+        if event.data["order"] != len(locked):
+            self._violate(
+                event,
+                f"txn {txn} lock order {event.data['order']} but the trace "
+                f"granted {len(locked)} locks",
+            )
+        if len(locked) > self._txn_declared.get(txn, 0):
+            self._violate(
+                event,
+                f"txn {txn} locked {len(locked)} keys but declared only "
+                f"{self._txn_declared.get(txn, 0)}",
+            )
+
+    def _on_txn_commit(self, event: TraceEvent) -> None:
+        txn = event.data["txn"]
+        locked = self._txn_locked.get(txn)
+        if locked is None:
+            self._violate(event, f"commit of txn {txn} which is not open")
+            return
+        declared = self._txn_declared.get(txn, 0)
+        if len(locked) != declared:
+            self._violate(
+                event,
+                f"txn {txn} commits with only {len(locked)}/{declared} "
+                "participants locked — commit requires every declared "
+                "key locked",
+            )
+        if event.data["locks"] != len(locked):
+            self._violate(
+                event,
+                f"txn {txn} commit reports {event.data['locks']} locks "
+                f"held but the trace granted {len(locked)}",
+            )
+        self._close_txn(txn)
+
+    def _on_txn_abort(self, event: TraceEvent) -> None:
+        txn = event.data["txn"]
+        if txn not in self._txn_locked:
+            self._violate(event, f"abort of txn {txn} which is not open")
+            return
+        self._close_txn(txn)
+
+    def _close_txn(self, txn: int) -> None:
+        self._txn_declared.pop(txn, None)
+        self._txn_locked.pop(txn, None)
+        self._txn_closed.add(txn)
+
     # ------------------------------------------------------------------
     # Post-run checks
     # ------------------------------------------------------------------
@@ -854,6 +944,29 @@ class ClusterInvariantChecker:
             raise InvariantViolation(
                 f"{len(self.violations)} cluster invariant violation(s):"
                 f"\n  {summary}"
+            )
+
+    def open_lock_leases(self) -> List[Tuple[int, str]]:
+        """(txn, hex key) for every lock granted but never released by a
+        commit or abort — leaked leases, if the run is over."""
+        return [
+            (txn, key)
+            for txn in sorted(self._txn_locked)
+            for key in self._txn_locked[txn]
+        ]
+
+    def assert_no_leaked_leases(self) -> None:
+        """Raise :class:`InvariantViolation` on any still-open lock lease.
+
+        Teardown audit (see ``tests/cluster/conftest.py``): every
+        transaction a test opens must have closed — the lock-table
+        analogue of the ``Membership.unsubscribe`` listener audit.
+        """
+        leaked = self.open_lock_leases()
+        if leaked:
+            summary = ", ".join(f"txn {txn} key {key}" for txn, key in leaked)
+            raise InvariantViolation(
+                f"{len(leaked)} leaked lock lease(s) after run: {summary}"
             )
 
     @property

@@ -246,6 +246,32 @@ TRACE_SCHEMA: Dict[str, Dict[str, PhaseSpec]] = {
                 "migrate_* phases it triggers are the checked ones)."
             ),
         ),
+        PhaseSpec(
+            "txn_begin",
+            _fs("txn", "client", "keys", "participants"),
+            description="Multi-key transaction opened (keys = declared count).",
+        ),
+        PhaseSpec(
+            "txn_lock",
+            _fs("txn", "key", "shard", "order"),
+            description=(
+                "Lock lease granted (key is hex, so trace order mirrors "
+                "the sorted-bytes acquisition order the checker enforces)."
+            ),
+        ),
+        PhaseSpec(
+            "txn_commit",
+            _fs("txn", "locks", "keys"),
+            description=(
+                "Atomic commit apply: every staged value installed and "
+                "every lock released at one instant."
+            ),
+        ),
+        PhaseSpec(
+            "txn_abort",
+            _fs("txn", "locks", "reason"),
+            description="Transaction aborted; staging discarded, locks released.",
+        ),
     ),
 }
 

@@ -35,6 +35,7 @@ class TestRegistry:
             "ablation-symmetric", "ext-multiserver",
             "ext-cluster-scaling", "ext-cluster-failover",
             "ext-cluster-rejoin", "ext-cluster-rebalance",
+            "ext-txn-structures",
             "ext-ud-rpc", "ext-lock-bypass", "breakdown",
         }
         assert expected == set(EXPERIMENTS)

@@ -29,7 +29,10 @@ def cluster_invariants():
     """Factory fixture: ``attach(tracer, **kwargs) -> checker``.
 
     Always enabled; every checker attached through the factory is
-    asserted clean when the test finishes.
+    asserted clean when the test finishes — and audited for leaked
+    transaction lock leases, the lock-table analogue of the
+    ``Membership.unsubscribe`` listener audit: a test that opens a
+    transaction must see it commit or abort before the window closes.
     """
     checkers = []
 
@@ -41,6 +44,7 @@ def cluster_invariants():
     yield attach
     for checker in checkers:
         checker.assert_clean()
+        checker.assert_no_leaked_leases()
 
 
 @pytest.fixture

@@ -1,0 +1,206 @@
+"""The FIFO queue, built twice: one-sided verbs vs RFP-style RPC.
+
+Unit coverage for :mod:`repro.cluster.structures`: FIFO order, the
+legal empty-``None`` outcome, bounds (item size, single-epoch slot
+ring), host-side verification helpers, and — the paper's axis — the
+cost asymmetry: the one-sided build posts ~3 verbs per op and *nothing*
+out-bound on the host NIC (the bypass claim), while the RPC build is
+exactly one request per op and keeps the server in-bound-only under the
+§3.2 hybrid rule.  Contention amplification (lost CAS races, ready-word
+polling) is asserted here qualitatively; ``ext-txn-structures`` pins
+the resulting crossover quantitatively.
+"""
+
+import pytest
+
+from repro.cluster import OneSidedQueue, QueueRegion, RfpQueue
+from repro.errors import KVError
+from repro.hw import CLUSTER_EUROSYS17, build_cluster
+from repro.sim import Simulator
+
+
+def make_rig():
+    sim = Simulator()
+    cluster = build_cluster(sim, CLUSTER_EUROSYS17)
+    return sim, cluster
+
+
+def drive(sim, gen, until=5_000.0):
+    """Run one process body to completion; returns its return value."""
+    box = {}
+
+    def wrapper():
+        box["value"] = yield from gen
+
+    sim.process(wrapper())
+    sim.run(until=until)
+    return box.get("value")
+
+
+class TestOneSidedQueue:
+    def test_fifo_order_and_empty(self):
+        sim, cluster = make_rig()
+        host = QueueRegion(sim, cluster, capacity=16, max_item_bytes=16)
+        q = host.connect(cluster.machines[1])
+
+        def body():
+            for item in (b"a", b"b", b"c"):
+                yield from q.enqueue(item)
+            out = []
+            for _ in range(4):
+                out.append((yield from q.dequeue()))
+            return out
+
+        assert drive(sim, body()) == [b"a", b"b", b"c", None]
+        assert q.stats.enqueues.value == 3
+        assert q.stats.dequeues.value == 3
+        assert q.stats.empties.value == 1
+        assert host.snapshot() == (3, 3)
+
+    def test_host_cpu_and_nic_stay_bypassed(self):
+        """The server-bypass claim: the host posts nothing — every op is
+        client verbs served by the host NIC's in-bound engine."""
+        sim, cluster = make_rig()
+        host = QueueRegion(sim, cluster, capacity=16, max_item_bytes=16)
+        q = host.connect(cluster.machines[1])
+
+        def body():
+            yield from q.enqueue(b"x")
+            yield from q.dequeue()
+
+        drive(sim, body())
+        assert host.machine.rnic.outbound_ops == 0
+        assert host.machine.rnic.inbound_ops == q.stats.remote_ops.value
+        # 3 verbs per enqueue (FAA, payload, ready) + 3 per uncontended
+        # dequeue (header read, CAS, slot read).
+        assert q.stats.remote_ops.value == 6
+
+    def test_item_size_and_slot_ring_bounds(self):
+        sim, cluster = make_rig()
+        host = QueueRegion(sim, cluster, capacity=2, max_item_bytes=8)
+        q = host.connect(cluster.machines[1])
+        with pytest.raises(KVError, match="> 8 B"):
+            next(q.enqueue(b"toolongtoolong"))
+
+        errors = []
+
+        def exhaust():
+            try:
+                yield from q.enqueue(b"a")
+                yield from q.enqueue(b"b")
+                yield from q.enqueue(b"c")  # claim 2 on a 2-slot ring
+            except KVError as exc:
+                errors.append(exc)
+
+        sim.process(exhaust())
+        sim.run(until=100.0)
+        assert errors and "slot ring exhausted" in str(errors[0])
+
+    def test_peek_slot_sees_published_items_only(self):
+        sim, cluster = make_rig()
+        host = QueueRegion(sim, cluster, capacity=4, max_item_bytes=8)
+        q = host.connect(cluster.machines[1])
+        assert host.peek_slot(0) is None
+        drive(sim, q.enqueue(b"hi"))
+        assert host.peek_slot(0) == b"hi"
+        assert host.peek_slot(1) is None
+
+    def test_contention_amplifies_remote_ops(self):
+        """Racing dequeuers lose CAS claims and re-read the header —
+        the per-op verb count climbs above the uncontended 3, the very
+        amplification the RPC build never pays."""
+        sim, cluster = make_rig()
+        host = QueueRegion(sim, cluster, capacity=256, max_item_bytes=8)
+        producers = [host.connect(cluster.machines[1 + i]) for i in range(3)]
+        consumers = [host.connect(cluster.machines[4 + i]) for i in range(3)]
+
+        def produce(q, salt):
+            for item_no in range(16):
+                yield from q.enqueue(b"%d:%02d" % (salt, item_no))
+
+        def consume(q, want):
+            got = 0
+            while got < want:
+                value = yield from q.dequeue()
+                if value is None:
+                    yield sim.timeout(1.0)
+                else:
+                    got += 1
+
+        for salt, q in enumerate(producers):
+            sim.process(produce(q, salt))
+        for q in consumers:
+            sim.process(consume(q, 16))
+        sim.run(until=20_000.0)
+
+        total_ops = sum(q.stats.ops for q in producers + consumers)
+        total_remote = sum(q.stats.remote_ops.value for q in producers + consumers)
+        retries = sum(q.stats.cas_retries.value for q in consumers)
+        assert sum(q.stats.dequeues.value for q in consumers) == 48
+        assert retries > 0, "three racing consumers never lost a CAS?"
+        assert total_remote / total_ops > 3.0
+
+
+class TestRfpQueue:
+    def test_fifo_order_and_empty(self):
+        sim, cluster = make_rig()
+        queue = RfpQueue(sim, cluster, machine=cluster.machines[0])
+        q = queue.connect(cluster.machines[1])
+
+        def body():
+            for item in (b"a", b"b", b"c"):
+                yield from q.enqueue(item)
+            out = []
+            for _ in range(4):
+                out.append((yield from q.dequeue()))
+            return out
+
+        assert drive(sim, body()) == [b"a", b"b", b"c", None]
+        assert q.stats.enqueues.value == 3
+        assert q.stats.dequeues.value == 3
+        assert q.stats.empties.value == 1
+        assert len(queue.items) == 0
+
+    def test_one_rpc_per_op_server_inbound_only(self):
+        """The RFP claims: exactly one request per op, and under the
+        hybrid rule a promptly-responding server posts no out-bound
+        verbs — responses ride the clients' in-bound fetches."""
+        sim, cluster = make_rig()
+        queue = RfpQueue(sim, cluster, machine=cluster.machines[0])
+        clients = [queue.connect(cluster.machines[1 + i]) for i in range(3)]
+
+        def body(q, salt):
+            for item_no in range(8):
+                yield from q.enqueue(b"%d:%02d" % (salt, item_no))
+            for _ in range(8):
+                yield from q.dequeue()
+
+        for salt, q in enumerate(clients):
+            sim.process(body(q, salt))
+        sim.run(until=20_000.0)
+
+        for q in clients:
+            assert q.stats.ops == 16
+            assert q.stats.remote_ops.value == 16  # 1 RPC per op, always
+            assert q.stats.cas_retries.value == 0
+            assert q.stats.ready_polls.value == 0
+        assert queue.server.machine.rnic.outbound_ops == 0
+
+    def test_remote_ops_per_op_is_flat_under_contention(self):
+        """The structural contrast with the one-sided build: adding
+        contenders cannot change the RPC build's cost per op."""
+        sim, cluster = make_rig()
+        queue = RfpQueue(sim, cluster, machine=cluster.machines[0])
+        clients = [queue.connect(cluster.machines[1 + i]) for i in range(6)]
+
+        def body(q):
+            for item_no in range(8):
+                yield from q.enqueue(b"%02d" % item_no)
+                yield from q.dequeue()
+
+        for q in clients:
+            sim.process(body(q))
+        sim.run(until=40_000.0)
+        for q in clients:
+            assert q.stats.ops == 16
+            assert q.stats.remote_ops_per_op() == 1.0

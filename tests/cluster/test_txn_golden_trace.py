@@ -1,0 +1,125 @@
+"""Golden traces for the transaction layer: commit and mid-lock abort.
+
+Two seeded scenarios pin the ``txn_*`` trace stream byte-for-byte, the
+way ``test_golden_trace.py`` pins the failover stream: a two-shard
+commit (begin, two ordered locks, the atomic commit) and a mid-lock
+abort (first lock granted, second primary dead, attempts exhausted,
+abort releases).  Each must be identical under the fast engine, the
+reference engine, and against the checked-in fixture.
+
+Regenerate (after an *intentional* model change) with::
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/cluster/test_txn_golden_trace.py
+"""
+
+import os
+
+import pytest
+
+from repro.cluster import ClusterConfig, RfpCluster, TxnConfig
+from repro.core.config import RfpConfig
+from repro.errors import ClusterError
+from repro.hw.cluster import build_cluster
+from repro.hw.specs import CLUSTER_EUROSYS17
+from repro.kv.store import StoreCostModel
+from repro.lint.invariants import ClusterInvariantChecker
+from repro.sim.core import Simulator
+from repro.sim.trace import Tracer
+
+SHARDS = 3
+WINDOW_US = 250.0
+
+SCENARIOS = ("commit", "abort")
+
+
+def fixture_path(scenario):
+    return os.path.join(
+        os.path.dirname(os.path.abspath(__file__)),
+        "fixtures",
+        f"golden_txn_{scenario}.txt",
+    )
+
+
+def txn_keys(service):
+    """Two ascending keys with distinct primaries — a genuinely
+    distributed transaction."""
+    keys, primaries = [], set()
+    index = 0
+    while len(keys) < 2:
+        key = b"goldtxn%03d" % index
+        index += 1
+        primary = service.ring.lookup(key)
+        if primary not in primaries:
+            primaries.add(primary)
+            keys.append(key)
+    return keys
+
+
+def run_traced(scenario, reference):
+    """One seeded transaction run; returns (trace lines, dispatched)."""
+    sim = Simulator(reference=reference)
+    cluster = build_cluster(sim, CLUSTER_EUROSYS17)
+    tracer = Tracer(sim)
+    ClusterInvariantChecker().attach(tracer)
+    service = RfpCluster(
+        sim,
+        cluster,
+        shards=SHARDS,
+        rfp_config=RfpConfig(consecutive_slow_calls=1),
+        cost_model=StoreCostModel(jitter_probability=0.0),
+        cluster_config=ClusterConfig(replication_factor=2),
+        # Short lock budget so the abort scenario gives up before the
+        # failover re-points the dead primary (which would commit).
+        txn_config=TxnConfig(lock_attempts=2, lock_retry_us=5.0),
+        tracer=tracer,
+        shard_tracers={f"shard{i}": tracer for i in range(SHARDS)},
+    )
+    keys = txn_keys(service)
+    service.preload([(key, b"\x00" * 8) for key in keys])
+    client = service.connect(cluster.machines[4], name="c0")
+    if scenario == "abort":
+        sim.schedule(1.0, service.kill, service.ring.lookup(keys[1]))
+
+    def body():
+        yield sim.timeout(5.0)
+        yield from client.get(keys[0])
+        try:
+            yield from client.multi_put([(key, b"txnvalue") for key in keys])
+        except ClusterError:
+            assert scenario == "abort"
+        yield from client.get(keys[0])
+
+    sim.process(body())
+    sim.run(until=WINDOW_US)
+    lines = [
+        f"{event.at_us!r} {event.category} {event.label}"
+        for event in tracer.events()
+    ]
+    return lines, sim.dispatched
+
+
+class TestTxnGoldenTraces:
+    @pytest.mark.parametrize("scenario", SCENARIOS)
+    def test_fast_engine_matches_fixture(self, scenario):
+        lines, _ = run_traced(scenario, reference=False)
+        if os.environ.get("REPRO_REGEN_GOLDEN"):
+            with open(fixture_path(scenario), "w", encoding="utf-8") as sink:
+                sink.write("\n".join(lines) + "\n")
+        with open(fixture_path(scenario), encoding="utf-8") as source:
+            golden = source.read().splitlines()
+        assert len(lines) >= 6, "scenario too quiet to pin anything"
+        assert lines == golden
+
+    @pytest.mark.parametrize("scenario", SCENARIOS)
+    def test_reference_engine_matches_fixture(self, scenario):
+        lines, _ = run_traced(scenario, reference=True)
+        with open(fixture_path(scenario), encoding="utf-8") as source:
+            golden = source.read().splitlines()
+        assert lines == golden
+
+    @pytest.mark.parametrize("scenario", SCENARIOS)
+    def test_engines_dispatch_identically(self, scenario):
+        fast_lines, fast_dispatched = run_traced(scenario, reference=False)
+        ref_lines, ref_dispatched = run_traced(scenario, reference=True)
+        assert fast_lines == ref_lines
+        assert fast_dispatched == ref_dispatched

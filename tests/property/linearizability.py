@@ -1,0 +1,176 @@
+"""Linearizability-lite: a history recorder + witness-order search.
+
+The proof obligation behind both tentpole artifacts — the twice-built
+FIFO queue and the multi-key transaction layer — is the same: concurrent
+operations observed at the client must be explainable by *some* total
+order (the witness) that (a) respects real time (an op that returned
+before another was invoked comes first) and (b) steps a sequential model
+through every recorded result.  This module provides:
+
+- :class:`History` — invoke/complete recording stamped with sim time,
+  plus :func:`recorded`, a generator wrapper that brackets any process
+  body with the two calls.
+- :func:`linearizable` — the Wing & Gong witness-order search, bounded
+  for the small histories the property tests generate: depth-first over
+  "which pending-or-concurrent op linearizes next", memoizing failed
+  (remaining-ops, model-state) pairs so the search is exponential only
+  in genuine ambiguity, not history length.
+- Two sequential models: :class:`FifoQueueModel` (enqueue/dequeue with
+  empty-``None`` results) and :class:`MultiRegisterModel` (atomic
+  multi-key writes + single-key reads — multi-PUT's contract).
+
+"Lite" because it checks complete histories only (the tests run every
+client body to completion before checking) and because the models
+compare recorded results exactly rather than exploring pending-op
+completions.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    Generator,
+    List,
+    NamedTuple,
+    Optional,
+    Set,
+    Tuple,
+)
+
+
+class Op(NamedTuple):
+    """One completed operation in a recorded history."""
+
+    op_id: int
+    kind: str
+    args: Any
+    result: Any
+    invoked_at: float
+    returned_at: float
+
+
+class History:
+    """Records invoke/complete pairs stamped with simulated time."""
+
+    def __init__(self, sim) -> None:
+        self.sim = sim
+        self._next_id = 0
+        self._invokes: Dict[int, Tuple[str, Any, float]] = {}
+        self._ops: List[Op] = []
+
+    def invoke(self, kind: str, args: Any = None) -> int:
+        self._next_id += 1
+        self._invokes[self._next_id] = (kind, args, self.sim.now)
+        return self._next_id
+
+    def complete(self, op_id: int, result: Any = None) -> None:
+        kind, args, invoked_at = self._invokes.pop(op_id)
+        self._ops.append(Op(op_id, kind, args, result, invoked_at, self.sim.now))
+
+    def discard(self, op_id: int) -> None:
+        """Drop an invoked op that provably took no effect (an aborted
+        multi-PUT: commit is atomic, abort discards staging), as if it
+        was never invoked."""
+        self._invokes.pop(op_id)
+
+    @property
+    def pending(self) -> int:
+        """Invoked but never completed — must be 0 before checking."""
+        return len(self._invokes)
+
+    def ops(self) -> List[Op]:
+        return sorted(self._ops, key=lambda op: (op.invoked_at, op.op_id))
+
+
+def recorded(history: History, kind: str, args: Any, body: Generator) -> Generator:
+    """Bracket a process body with invoke/complete recording."""
+    op_id = history.invoke(kind, args)
+    result = yield from body
+    history.complete(op_id, result)
+    return result
+
+
+class FifoQueueModel:
+    """Sequential FIFO queue; dequeue of an empty queue returns None."""
+
+    def init(self) -> Tuple:
+        return ()
+
+    def apply(self, state: Tuple, op: Op) -> Optional[Tuple]:
+        """Next state, or None if ``op``'s recorded result is impossible."""
+        if op.kind == "enqueue":
+            return state + (op.args,)
+        if op.kind == "dequeue":
+            if op.result is None:
+                return state if not state else None
+            if state and state[0] == op.result:
+                return state[1:]
+            return None
+        raise ValueError(f"unknown op kind {op.kind!r}")
+
+
+class MultiRegisterModel:
+    """Multi-key register: ``multi_put`` installs its whole key->value
+    map in one step (the transaction contract); ``get`` reads one key."""
+
+    def __init__(self, initial: Optional[Dict[Any, Any]] = None) -> None:
+        self._initial = tuple(sorted((initial or {}).items()))
+
+    def init(self) -> Tuple:
+        return self._initial
+
+    def apply(self, state: Tuple, op: Op) -> Optional[Tuple]:
+        if op.kind == "multi_put":
+            merged = dict(state)
+            merged.update(dict(op.args))
+            return tuple(sorted(merged.items()))
+        if op.kind == "get":
+            expected = dict(state).get(op.args)
+            return state if op.result == expected else None
+        raise ValueError(f"unknown op kind {op.kind!r}")
+
+
+def linearizable(ops: List[Op], model) -> bool:
+    """Wing & Gong witness search: does a legal total order exist?
+
+    An op may linearize next iff no *other* remaining op returned
+    before it was invoked (real-time order is preserved) and the model
+    accepts its recorded result from the current state.  Failed
+    (remaining, state) pairs are memoized: model states are canonical
+    hashables, so a dead configuration is never re-explored.
+    """
+    by_id = {op.op_id: op for op in ops}
+    failed: Set[Tuple[FrozenSet[int], Any]] = set()
+
+    def search(remaining: FrozenSet[int], state: Any) -> bool:
+        if not remaining:
+            return True
+        key = (remaining, state)
+        if key in failed:
+            return False
+        horizon = min(by_id[op_id].returned_at for op_id in remaining)
+        for op_id in sorted(remaining):
+            op = by_id[op_id]
+            if op.invoked_at > horizon:
+                continue  # someone returned before this was even invoked
+            next_state = model.apply(state, op)
+            if next_state is None:
+                continue
+            if search(remaining - {op_id}, next_state):
+                return True
+        failed.add(key)
+        return False
+
+    return search(frozenset(by_id), model.init())
+
+
+def explain_not_linearizable(ops: List[Op]) -> str:
+    """A readable dump of the history for assertion messages."""
+    lines = [
+        f"  [{op.invoked_at:9.3f} -> {op.returned_at:9.3f}] "
+        f"{op.kind}({op.args!r}) = {op.result!r}"
+        for op in ops
+    ]
+    return "history is not linearizable:\n" + "\n".join(lines)

@@ -106,7 +106,7 @@ def test_cluster_atomic_regions_are_declared_and_proven():
     """The ring-surgery/handoff regions carry the atomic contract both
     ways: the runtime marker is on the bound callables, and the static
     call graph proves no transitive yield path out of any of them."""
-    from repro.cluster import FailoverCoordinator, Membership, RfpCluster
+    from repro.cluster import FailoverCoordinator, Membership, RfpCluster, TxnManager
     from repro.cluster.migration import RangeMigration, VnodeMigration
     from repro.cluster.recovery import RecoveryCoordinator
     from repro.sim import is_atomic_section
@@ -128,6 +128,11 @@ def test_cluster_atomic_regions_are_declared_and_proven():
         VnodeMigration._on_status_change,
         RfpCluster.kill,
         RfpCluster.note_put,
+        # The transaction layer's three promised instants: a lock grant,
+        # the commit visibility flip, and the abort release.
+        TxnManager.grant,
+        TxnManager.commit,
+        TxnManager.abort,
     ]
     for fn in expected:
         assert is_atomic_section(fn), fn.__qualname__
